@@ -1,0 +1,228 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: dense
+// matmul, DTW, graph-Laplacian pipeline, Chebyshev GCN forward, LSTM step,
+// a full RIHGCN forward/backward, and one optimizer step. Not a paper
+// experiment — tracks the cost structure of the training loop.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/rihgcn.hpp"
+#include "core/trainer.hpp"
+#include "data/generators.hpp"
+#include "data/missing.hpp"
+#include "graph/graph.hpp"
+#include "nn/optim.hpp"
+#include "tensor/linalg.hpp"
+#include "timeseries/distance.hpp"
+
+namespace {
+
+using namespace rihgcn;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = rng.normal_matrix(n, n, 1.0);
+  const Matrix b = rng.normal_matrix(n, n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Dtw(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> a(len), b(len);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::dtw(a, b));
+  }
+}
+BENCHMARK(BM_Dtw)->Arg(24)->Arg(144)->Arg(288);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const std::size_t len = 288;
+  Rng rng(3);
+  std::vector<double> a(len), b(len);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::dtw(a, b, state.range(0)));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(8)->Arg(32);
+
+void BM_GraphPipeline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  Matrix d = rng.uniform_matrix(n, n, 0.3, 3.0);
+  d = (d + d.transposed()) * 0.5;
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::scaled_laplacian_from_distances(d));
+  }
+}
+BENCHMARK(BM_GraphPipeline)->Arg(20)->Arg(50);
+
+void BM_SolveLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  Matrix a = rng.normal_matrix(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0 * static_cast<double>(n);
+  const Matrix b = rng.normal_matrix(n, 1, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_linear(a, b));
+  }
+}
+BENCHMARK(BM_SolveLinear)->Arg(16)->Arg(91);
+
+void BM_ChebGcnForward(benchmark::State& state) {
+  const std::size_t n = 20;
+  Rng rng(6);
+  nn::ChebGcnLayer gcn(4, 16, 3, rng);
+  Matrix lap = rng.normal_matrix(n, n, 0.2);
+  lap = (lap + lap.transposed()) * 0.5;
+  const Matrix x = rng.normal_matrix(n, 4, 1.0);
+  for (auto _ : state) {
+    ad::Tape tape;
+    benchmark::DoNotOptimize(gcn.forward(tape, tape.constant(x), lap));
+  }
+}
+BENCHMARK(BM_ChebGcnForward);
+
+void BM_LstmStep(benchmark::State& state) {
+  const std::size_t n = 20;
+  Rng rng(7);
+  nn::LstmCell lstm(16, 32, rng);
+  const Matrix x = rng.normal_matrix(n, 16, 1.0);
+  for (auto _ : state) {
+    ad::Tape tape;
+    auto s = lstm.initial_state(tape, n);
+    benchmark::DoNotOptimize(lstm.step(tape, tape.constant(x), s));
+  }
+}
+BENCHMARK(BM_LstmStep);
+
+struct RihgcnBenchFixture {
+  data::TrafficDataset ds;
+  std::unique_ptr<data::WindowSampler> sampler;
+  std::unique_ptr<core::HeterogeneousGraphs> graphs;
+  std::unique_ptr<core::RihgcnModel> model;
+  data::Window window;
+
+  RihgcnBenchFixture() {
+    data::PemsLikeConfig cfg;
+    cfg.num_nodes = 20;
+    cfg.num_days = 4;
+    cfg.steps_per_day = 288;
+    ds = data::generate_pems_like(cfg);
+    Rng rng(8);
+    data::inject_mcar(ds, 0.4, rng);
+    const std::size_t train_end = ds.num_timesteps() * 7 / 10;
+    const data::ZScoreNormalizer nz(ds, train_end);
+    nz.normalize(ds);
+    sampler = std::make_unique<data::WindowSampler>(ds, 12, 12);
+    core::HeteroGraphsConfig gcfg;
+    gcfg.num_temporal_graphs = 4;
+    graphs =
+        std::make_unique<core::HeterogeneousGraphs>(ds, train_end, gcfg, rng);
+    core::RihgcnConfig mc;
+    mc.gcn_dim = 12;
+    mc.lstm_dim = 24;
+    model = std::make_unique<core::RihgcnModel>(*graphs, 20, 4, mc);
+    window = sampler->make_window(100);
+  }
+};
+
+void BM_RihgcnForward(benchmark::State& state) {
+  static RihgcnBenchFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.model->predict(fixture.window));
+  }
+}
+BENCHMARK(BM_RihgcnForward);
+
+void BM_RihgcnForwardBackward(benchmark::State& state) {
+  static RihgcnBenchFixture fixture;
+  for (auto _ : state) {
+    for (ad::Parameter* p : fixture.model->parameters()) p->zero_grad();
+    ad::Tape tape;
+    ad::Var loss = fixture.model->training_loss(tape, fixture.window);
+    tape.backward(loss);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_RihgcnForwardBackward);
+
+void BM_AdamStep(benchmark::State& state) {
+  static RihgcnBenchFixture fixture;
+  nn::AdamOptimizer opt(fixture.model->parameters());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.step());
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_GruStep(benchmark::State& state) {
+  const std::size_t n = 20;
+  Rng rng(9);
+  nn::GruCell gru(16, 32, rng);
+  const Matrix x = rng.normal_matrix(n, 16, 1.0);
+  for (auto _ : state) {
+    ad::Tape tape;
+    auto s = gru.initial_state(tape, n);
+    benchmark::DoNotOptimize(gru.step(tape, tape.constant(x), s));
+  }
+}
+BENCHMARK(BM_GruStep);
+
+// Data-parallel batch gradients: wall-clock for an 8-window batch at 1, 2
+// and 4 worker threads (speedup tops out at the core count and the
+// reduction cost).
+void BM_ParallelBatch(benchmark::State& state) {
+  static RihgcnBenchFixture fixture;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const data::WindowSampler& sampler = *fixture.sampler;
+  std::vector<std::size_t> idx{100, 101, 102, 103, 104, 105, 106, 107};
+  std::vector<std::size_t> order{0, 1, 2, 3, 4, 5, 6, 7};
+  core::TrainConfig cfg;
+  cfg.num_threads = threads;
+  for (auto _ : state) {
+    for (ad::Parameter* p : fixture.model->parameters()) p->zero_grad();
+    if (threads <= 1) {
+      for (const std::size_t i : idx) {
+        ad::Tape tape;
+        ad::Var loss =
+            fixture.model->training_loss(tape, sampler.make_window(i));
+        tape.backward(loss);
+      }
+    } else {
+      std::vector<std::thread> pool;
+      std::vector<ad::Tape::GradSink> sinks(threads);
+      for (std::size_t w = 0; w < threads; ++w) {
+        pool.emplace_back([&, w] {
+          for (std::size_t b = w; b < idx.size(); b += threads) {
+            ad::Tape tape;
+            ad::Var loss = fixture.model->training_loss(
+                tape, sampler.make_window(idx[b]));
+            tape.backward_into(loss, sinks[w]);
+          }
+        });
+      }
+      for (auto& t : pool) t.join();
+      for (auto& sink : sinks) {
+        for (auto& [param, grad] : sink) param->grad() += grad;
+      }
+    }
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ParallelBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table I (lower): prediction MAE/RMSE on the PeMS-like dataset at a fixed
+// 80% missing rate, reported at horizons 15 / 30 / 45 / 60 minutes (first
+// 3 / 6 / 9 / 12 prediction steps).
+//
+// Expected shape (paper): errors grow with horizon; RIHGCN leads at every
+// horizon; imputation-enhanced variants beat their mean-filled versions.
+#include <chrono>
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace rihgcn;
+using namespace rihgcn::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const Scale s = Scale::from(opts);
+  const std::vector<std::size_t> prefixes{3, 6, 9, 12};
+  metrics::ResultTable table(
+      "Table I (lower): PeMS-like prediction vs horizon (80% missing)",
+      {"15 min", "30 min", "45 min", "60 min"});
+  Environment env = make_pems_environment(s, 0.8, opts.seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const std::string& name : table_method_names()) {
+    auto model = make_and_train(name, env, s, opts.seed);
+    for (std::size_t g = 0; g < prefixes.size(); ++g) {
+      const core::EvalResult r = core::evaluate_prediction(
+          *model, *env.sampler, env.split.test, env.normalizer.get(),
+          prefixes[g], s.max_eval_windows);
+      table.set(name, g, r.mae, r.rmse);
+    }
+    std::printf("   %-14s done [t=%.0fs]\n", name.c_str(), seconds_since(t0));
+    std::fflush(stdout);
+  }
+  emit(table, opts);
+  return 0;
+}

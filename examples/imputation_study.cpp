@@ -1,0 +1,110 @@
+// Imputation shoot-out on a corrupted sensor feed.
+//
+// Scenario: a month of highway data suffers both random reading loss AND
+// bursty sensor outages; the operator wants the best filler before feeding
+// the data to downstream analytics. This example runs every classical
+// imputer in the library plus RIHGCN's learned recurrent imputation over
+// the same hold-out protocol the paper uses, and prints a ranked table.
+//
+// Demonstrates the Imputer interface, make_imputation_holdout, and
+// evaluate_imputation on a trained model.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/imputers.hpp"
+#include "core/rihgcn.hpp"
+#include "core/trainer.hpp"
+#include "data/generators.hpp"
+#include "data/missing.hpp"
+#include "metrics/metrics.hpp"
+
+using namespace rihgcn;
+
+int main() {
+  data::PemsLikeConfig cfg;
+  cfg.num_nodes = 16;
+  cfg.num_days = 10;
+  cfg.steps_per_day = 288;
+  cfg.seed = 99;
+  data::TrafficDataset ds = data::generate_pems_like(cfg);
+  Rng rng(100);
+  data::inject_mcar_readings(ds, 0.3, rng);        // random reading loss
+  data::inject_block_missing(ds, 0.2, 24, rng);    // 2-hour outage bursts
+  const auto holdout = data::make_imputation_holdout(ds, 0.25, rng);
+  std::printf("corrupted feed: %.1f%% of cells missing after outages\n",
+              100.0 * ds.missing_rate());
+
+  const std::size_t train_end = ds.num_timesteps() * 7 / 10;
+  const data::ZScoreNormalizer nz(ds, train_end);
+  nz.normalize(ds);
+
+  struct Row {
+    std::string name;
+    double mae;
+    double rmse;
+  };
+  std::vector<Row> rows;
+
+  // ---- Classical imputers over the whole series ----------------------------
+  std::vector<Matrix> obs;
+  obs.reserve(ds.num_timesteps());
+  for (std::size_t t = 0; t < ds.num_timesteps(); ++t) {
+    obs.push_back(ds.observed(t));
+  }
+  std::vector<std::unique_ptr<baselines::Imputer>> imputers;
+  imputers.push_back(std::make_unique<baselines::MeanImputer>());
+  imputers.push_back(std::make_unique<baselines::LastObservedImputer>());
+  imputers.push_back(std::make_unique<baselines::KnnImputer>(5));
+  imputers.push_back(
+      std::make_unique<baselines::MatrixFactorizationImputer>(8, 15));
+  imputers.push_back(std::make_unique<baselines::TensorDecompositionImputer>(
+      6, 12, ds.steps_per_day));
+  for (const auto& imp : imputers) {
+    const auto filled = imp->impute(obs, ds.mask);
+    metrics::ErrorAccumulator acc;
+    for (std::size_t t = 0; t < filled.size(); ++t) {
+      acc.add(nz.denormalize(filled[t]), nz.denormalize(ds.truth[t]),
+              holdout[t]);
+    }
+    rows.push_back({imp->name(), acc.mae(), acc.rmse()});
+    std::printf("  scored %s\n", imp->name().c_str());
+  }
+
+  // ---- Learned imputation ------------------------------------------------------
+  const data::WindowSampler sampler(ds, 12, 12);
+  const data::SplitIndices split = sampler.split();
+  core::HeteroGraphsConfig gcfg;
+  gcfg.num_temporal_graphs = 4;
+  const core::HeterogeneousGraphs graphs(ds, train_end, gcfg, rng);
+  core::RihgcnConfig mc;
+  mc.gcn_dim = 12;
+  mc.lstm_dim = 24;
+  mc.lambda = 2.0;  // lean toward imputation quality (Fig. 5 trend)
+  core::RihgcnModel model(graphs, ds.num_nodes(), ds.num_features(), mc);
+  core::TrainConfig tc;
+  tc.max_epochs = 10;
+  tc.max_train_windows = 160;
+  tc.max_val_windows = 48;
+  core::train_model(model, sampler, split, tc);
+  // Score over the whole timeline (stride by lookback => each cell once).
+  std::vector<std::size_t> all_windows;
+  for (std::size_t s = 0; s + 24 <= ds.num_timesteps(); s += 12) {
+    all_windows.push_back(s);
+  }
+  const core::EvalResult learned = core::evaluate_imputation(
+      model, sampler, all_windows, holdout, &nz, 0, 1);
+  rows.push_back({"RIHGCN", learned.mae, learned.rmse});
+
+  // ---- Ranked table ---------------------------------------------------------
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.mae < b.mae; });
+  std::printf("\nimputation ranking on held-out entries (mph):\n");
+  std::printf("  %-6s %-8s %8s %8s\n", "rank", "method", "MAE", "RMSE");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("  %-6zu %-8s %8.3f %8.3f\n", i + 1, rows[i].name.c_str(),
+                rows[i].mae, rows[i].rmse);
+  }
+  return 0;
+}

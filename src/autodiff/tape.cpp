@@ -1,0 +1,607 @@
+#include "autodiff/tape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rihgcn::ad {
+
+const Matrix& Var::value() const {
+  if (!tape) throw std::logic_error("Var::value on null tape");
+  return tape->value(*this);
+}
+
+Var Tape::push(Matrix value, bool requires_grad,
+               std::function<void(Tape&)> backward_fn) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  n.backward = std::move(backward_fn);
+  nodes_.push_back(std::move(n));
+  return Var{this, nodes_.size() - 1};
+}
+
+Matrix& Tape::grad_ref(std::size_t i) {
+  Node& n = nodes_[i];
+  if (n.grad.rows() != n.value.rows() || n.grad.cols() != n.value.cols()) {
+    n.grad = Matrix(n.value.rows(), n.value.cols());
+  }
+  return n.grad;
+}
+
+void Tape::check_same_tape(Var v) const {
+  if (v.tape != this) {
+    throw std::logic_error("Var belongs to a different (or null) tape");
+  }
+  if (v.index >= nodes_.size()) {
+    throw std::logic_error("Var index out of range");
+  }
+}
+
+Var Tape::constant(Matrix value) {
+  return push(std::move(value), /*requires_grad=*/false, nullptr);
+}
+
+Var Tape::leaf(Parameter& p) {
+  Var v = push(p.value(), /*requires_grad=*/true, nullptr);
+  Node& n = nodes_[v.index];
+  n.bound_param = &p;
+  const std::size_t idx = v.index;
+  n.backward = [idx](Tape& t) {
+    Node& self = t.node(idx);
+    if (t.grad_sink_ != nullptr) {
+      Matrix& g = (*t.grad_sink_)[self.bound_param];
+      if (g.empty()) {
+        g = Matrix(self.value.rows(), self.value.cols());
+      }
+      g += t.grad_ref(idx);
+    } else {
+      self.bound_param->grad() += t.grad_ref(idx);
+    }
+  };
+  return v;
+}
+
+// Each op builds the value, pushes the node, then installs a backward closure
+// that knows the child's own index — closures resolve nodes through the tape
+// at call time, so vector reallocation during construction is harmless.
+Var Tape::add(Var a, Var b) {
+  check_same_tape(a);
+  check_same_tape(b);
+  const std::size_t ia = a.index, ib = b.index;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out = push(value(a) + value(b), rg, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, ib, io](Tape& t) {
+    const Matrix& g = t.grad_ref(io);
+    if (t.node(ia).requires_grad) t.grad_ref(ia) += g;
+    if (t.node(ib).requires_grad) t.grad_ref(ib) += g;
+  };
+  return out;
+}
+
+Var Tape::sub(Var a, Var b) {
+  check_same_tape(a);
+  check_same_tape(b);
+  const std::size_t ia = a.index, ib = b.index;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out = push(value(a) - value(b), rg, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, ib, io](Tape& t) {
+    const Matrix& g = t.grad_ref(io);
+    if (t.node(ia).requires_grad) t.grad_ref(ia) += g;
+    if (t.node(ib).requires_grad) t.grad_ref(ib) -= g;
+  };
+  return out;
+}
+
+Var Tape::mul(Var a, Var b) {
+  check_same_tape(a);
+  check_same_tape(b);
+  const std::size_t ia = a.index, ib = b.index;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out = push(hadamard(value(a), value(b)), rg, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, ib, io](Tape& t) {
+    const Matrix& g = t.grad_ref(io);
+    if (t.node(ia).requires_grad) {
+      t.grad_ref(ia) += hadamard(g, t.node(ib).value);
+    }
+    if (t.node(ib).requires_grad) {
+      t.grad_ref(ib) += hadamard(g, t.node(ia).value);
+    }
+  };
+  return out;
+}
+
+Var Tape::scale(Var a, double s) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Var out = push(value(a) * s, nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io, s](Tape& t) {
+    if (t.node(ia).requires_grad) t.grad_ref(ia) += t.grad_ref(io) * s;
+  };
+  return out;
+}
+
+Var Tape::add_scalar(Var a, double s) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Matrix v = value(a);
+  v.apply([s](double x) { return x + s; });
+  Var out = push(std::move(v), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io](Tape& t) {
+    if (t.node(ia).requires_grad) t.grad_ref(ia) += t.grad_ref(io);
+  };
+  return out;
+}
+
+Var Tape::hadamard_const(Var a, const Matrix& m) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Var out = push(hadamard(value(a), m), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  Matrix mask = m;  // captured by value: caller's matrix may die
+  nodes_[io].backward = [ia, io, mask = std::move(mask)](Tape& t) {
+    if (t.node(ia).requires_grad) {
+      t.grad_ref(ia) += hadamard(t.grad_ref(io), mask);
+    }
+  };
+  return out;
+}
+
+Var Tape::matmul(Var a, Var b) {
+  check_same_tape(a);
+  check_same_tape(b);
+  const std::size_t ia = a.index, ib = b.index;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out = push(rihgcn::matmul(value(a), value(b)), rg, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, ib, io](Tape& t) {
+    const Matrix& g = t.grad_ref(io);
+    // dL/dA = g * B^T ; dL/dB = A^T * g
+    if (t.node(ia).requires_grad) {
+      t.grad_ref(ia) += matmul_bt(g, t.node(ib).value);
+    }
+    if (t.node(ib).requires_grad) {
+      t.grad_ref(ib) += matmul_at(t.node(ia).value, g);
+    }
+  };
+  return out;
+}
+
+Var Tape::mul_col_broadcast(Var a, Var col) {
+  check_same_tape(a);
+  check_same_tape(col);
+  const Matrix& x = value(a);
+  const Matrix& c = value(col);
+  if (c.cols() != 1 || c.rows() != x.rows()) {
+    throw ShapeError("mul_col_broadcast: col must be rows x 1");
+  }
+  const std::size_t ia = a.index, ic = col.index;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ic].requires_grad;
+  Matrix v = x;
+  for (std::size_t r = 0; r < v.rows(); ++r) {
+    for (std::size_t cc = 0; cc < v.cols(); ++cc) v(r, cc) *= c(r, 0);
+  }
+  Var out = push(std::move(v), rg, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, ic, io](Tape& t) {
+    const Matrix& g = t.grad_ref(io);
+    const Matrix& x2 = t.node(ia).value;
+    const Matrix& c2 = t.node(ic).value;
+    if (t.node(ia).requires_grad) {
+      Matrix& ga = t.grad_ref(ia);
+      for (std::size_t r = 0; r < g.rows(); ++r) {
+        for (std::size_t cc = 0; cc < g.cols(); ++cc) {
+          ga(r, cc) += g(r, cc) * c2(r, 0);
+        }
+      }
+    }
+    if (t.node(ic).requires_grad) {
+      Matrix& gc = t.grad_ref(ic);
+      for (std::size_t r = 0; r < g.rows(); ++r) {
+        double s = 0.0;
+        for (std::size_t cc = 0; cc < g.cols(); ++cc) {
+          s += g(r, cc) * x2(r, cc);
+        }
+        gc(r, 0) += s;
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::add_row_broadcast(Var a, Var bias_row) {
+  check_same_tape(a);
+  check_same_tape(bias_row);
+  const std::size_t ia = a.index, ib = bias_row.index;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out =
+      push(rihgcn::add_row_broadcast(value(a), value(bias_row)), rg, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, ib, io](Tape& t) {
+    const Matrix& g = t.grad_ref(io);
+    if (t.node(ia).requires_grad) t.grad_ref(ia) += g;
+    if (t.node(ib).requires_grad) {
+      Matrix& gb = t.grad_ref(ib);
+      for (std::size_t r = 0; r < g.rows(); ++r) {
+        for (std::size_t c = 0; c < g.cols(); ++c) gb(0, c) += g(r, c);
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::sigmoid(Var a) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Matrix v = map(value(a), [](double x) {
+    // Numerically stable logistic.
+    return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                    : std::exp(x) / (1.0 + std::exp(x));
+  });
+  Var out = push(std::move(v), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const Matrix& y = t.node(io).value;
+    const Matrix& g = t.grad_ref(io);
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ga.data()[i] += g.data()[i] * y.data()[i] * (1.0 - y.data()[i]);
+    }
+  };
+  return out;
+}
+
+Var Tape::tanh(Var a) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Var out = push(map(value(a), [](double x) { return std::tanh(x); }),
+                 nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const Matrix& y = t.node(io).value;
+    const Matrix& g = t.grad_ref(io);
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ga.data()[i] += g.data()[i] * (1.0 - y.data()[i] * y.data()[i]);
+    }
+  };
+  return out;
+}
+
+Var Tape::relu(Var a) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Var out = push(map(value(a), [](double x) { return x > 0.0 ? x : 0.0; }),
+                 nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const Matrix& x = t.node(ia).value;
+    const Matrix& g = t.grad_ref(io);
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x.data()[i] > 0.0) ga.data()[i] += g.data()[i];
+    }
+  };
+  return out;
+}
+
+Var Tape::softmax_rows(Var a) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  const Matrix& x = value(a);
+  Matrix y(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double mx = -1e300;
+    for (std::size_t c = 0; c < x.cols(); ++c) mx = std::max(mx, x(r, c));
+    double denom = 0.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      y(r, c) = std::exp(x(r, c) - mx);
+      denom += y(r, c);
+    }
+    for (std::size_t c = 0; c < x.cols(); ++c) y(r, c) /= denom;
+  }
+  Var out = push(std::move(y), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const Matrix& y2 = t.node(io).value;
+    const Matrix& g = t.grad_ref(io);
+    Matrix& ga = t.grad_ref(ia);
+    // Per row: dx = y ⊙ (g - <g, y>)
+    for (std::size_t r = 0; r < y2.rows(); ++r) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < y2.cols(); ++c) dot += g(r, c) * y2(r, c);
+      for (std::size_t c = 0; c < y2.cols(); ++c) {
+        ga(r, c) += y2(r, c) * (g(r, c) - dot);
+      }
+    }
+  };
+  return out;
+}
+
+Var Tape::concat_cols(Var a, Var b) {
+  check_same_tape(a);
+  check_same_tape(b);
+  const std::size_t ia = a.index, ib = b.index;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out = push(hcat(value(a), value(b)), rg, nullptr);
+  const std::size_t io = out.index;
+  const std::size_t ca = value(a).cols();
+  nodes_[io].backward = [ia, ib, io, ca](Tape& t) {
+    const Matrix& g = t.grad_ref(io);
+    if (t.node(ia).requires_grad) {
+      t.grad_ref(ia) += g.slice_cols(0, ca);
+    }
+    if (t.node(ib).requires_grad) {
+      t.grad_ref(ib) += g.slice_cols(ca, g.cols());
+    }
+  };
+  return out;
+}
+
+Var Tape::concat_cols_many(const std::vector<Var>& vars) {
+  if (vars.empty()) throw std::invalid_argument("concat_cols_many: empty");
+  Var acc = vars.front();
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    acc = concat_cols(acc, vars[i]);
+  }
+  return acc;
+}
+
+Var Tape::slice_cols(Var a, std::size_t c0, std::size_t c1) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Var out = push(value(a).slice_cols(c0, c1), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io, c0](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const Matrix& g = t.grad_ref(io);
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      for (std::size_t c = 0; c < g.cols(); ++c) ga(r, c0 + c) += g(r, c);
+    }
+  };
+  return out;
+}
+
+Var Tape::transpose(Var a) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Var out = push(value(a).transposed(), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io](Tape& t) {
+    if (t.node(ia).requires_grad) {
+      t.grad_ref(ia) += t.grad_ref(io).transposed();
+    }
+  };
+  return out;
+}
+
+Var Tape::mean_all(Var a) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  const double n = static_cast<double>(value(a).size());
+  Matrix v(1, 1);
+  v(0, 0) = value(a).sum() / n;
+  Var out = push(std::move(v), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io, n](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const double g = t.grad_ref(io)(0, 0) / n;
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+  };
+  return out;
+}
+
+Var Tape::sum_all(Var a) {
+  check_same_tape(a);
+  const std::size_t ia = a.index;
+  Matrix v(1, 1);
+  v(0, 0) = value(a).sum();
+  Var out = push(std::move(v), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, io](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const double g = t.grad_ref(io)(0, 0);
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+  };
+  return out;
+}
+
+Var Tape::masked_mae(Var a, const Matrix& target, const Matrix& w) {
+  check_same_tape(a);
+  const Matrix& x = value(a);
+  if (!x.same_shape(target) || !x.same_shape(w)) {
+    throw ShapeError("masked_mae: shape mismatch");
+  }
+  const std::size_t ia = a.index;
+  const double count = std::max(1.0, w.sum());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    loss += w.data()[i] * std::abs(x.data()[i] - target.data()[i]);
+  }
+  Matrix v(1, 1);
+  v(0, 0) = loss / count;
+  Var out = push(std::move(v), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  Matrix tgt = target, wt = w;
+  nodes_[io].backward = [ia, io, count, tgt = std::move(tgt),
+                         wt = std::move(wt)](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const double g = t.grad_ref(io)(0, 0) / count;
+    const Matrix& x2 = t.node(ia).value;
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t i = 0; i < x2.size(); ++i) {
+      const double d = x2.data()[i] - tgt.data()[i];
+      // Subgradient 0 at d == 0.
+      const double sgn = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
+      ga.data()[i] += g * wt.data()[i] * sgn;
+    }
+  };
+  return out;
+}
+
+Var Tape::masked_mse(Var a, const Matrix& target, const Matrix& w) {
+  check_same_tape(a);
+  const Matrix& x = value(a);
+  if (!x.same_shape(target) || !x.same_shape(w)) {
+    throw ShapeError("masked_mse: shape mismatch");
+  }
+  const std::size_t ia = a.index;
+  const double count = std::max(1.0, w.sum());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x.data()[i] - target.data()[i];
+    loss += w.data()[i] * d * d;
+  }
+  Matrix v(1, 1);
+  v(0, 0) = loss / count;
+  Var out = push(std::move(v), nodes_[ia].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  Matrix tgt = target, wt = w;
+  nodes_[io].backward = [ia, io, count, tgt = std::move(tgt),
+                         wt = std::move(wt)](Tape& t) {
+    if (!t.node(ia).requires_grad) return;
+    const double g = t.grad_ref(io)(0, 0) / count;
+    const Matrix& x2 = t.node(ia).value;
+    Matrix& ga = t.grad_ref(ia);
+    for (std::size_t i = 0; i < x2.size(); ++i) {
+      ga.data()[i] += g * wt.data()[i] * 2.0 * (x2.data()[i] - tgt.data()[i]);
+    }
+  };
+  return out;
+}
+
+Var Tape::weighted_l1_between(Var a, Var b, const Matrix& w) {
+  check_same_tape(a);
+  check_same_tape(b);
+  const Matrix& xa = value(a);
+  const Matrix& xb = value(b);
+  if (!xa.same_shape(xb) || !xa.same_shape(w)) {
+    throw ShapeError("weighted_l1_between: shape mismatch");
+  }
+  const std::size_t ia = a.index, ib = b.index;
+  const double count = std::max(1.0, w.sum());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    loss += w.data()[i] * std::abs(xa.data()[i] - xb.data()[i]);
+  }
+  Matrix v(1, 1);
+  v(0, 0) = loss / count;
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out = push(std::move(v), rg, nullptr);
+  const std::size_t io = out.index;
+  Matrix wt = w;
+  nodes_[io].backward = [ia, ib, io, count, wt = std::move(wt)](Tape& t) {
+    const double g = t.grad_ref(io)(0, 0) / count;
+    const Matrix& x2 = t.node(ia).value;
+    const Matrix& y2 = t.node(ib).value;
+    const bool need_a = t.node(ia).requires_grad;
+    const bool need_b = t.node(ib).requires_grad;
+    if (!need_a && !need_b) return;
+    Matrix* ga = need_a ? &t.grad_ref(ia) : nullptr;
+    Matrix* gb = need_b ? &t.grad_ref(ib) : nullptr;
+    for (std::size_t i = 0; i < x2.size(); ++i) {
+      const double d = x2.data()[i] - y2.data()[i];
+      const double sgn = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
+      const double gi = g * wt.data()[i] * sgn;
+      if (ga) ga->data()[i] += gi;
+      if (gb) gb->data()[i] -= gi;
+    }
+  };
+  return out;
+}
+
+Var Tape::affine_combine(Var a, double c0, Var b, double c1) {
+  check_same_tape(a);
+  check_same_tape(b);
+  if (value(a).size() != 1 || value(b).size() != 1) {
+    throw ShapeError("affine_combine expects scalar (1x1) vars");
+  }
+  const std::size_t ia = a.index, ib = b.index;
+  Matrix v(1, 1);
+  v(0, 0) = c0 * value(a)(0, 0) + c1 * value(b)(0, 0);
+  const bool rg = nodes_[ia].requires_grad || nodes_[ib].requires_grad;
+  Var out = push(std::move(v), rg, nullptr);
+  const std::size_t io = out.index;
+  nodes_[io].backward = [ia, ib, io, c0, c1](Tape& t) {
+    const double g = t.grad_ref(io)(0, 0);
+    if (t.node(ia).requires_grad) t.grad_ref(ia)(0, 0) += c0 * g;
+    if (t.node(ib).requires_grad) t.grad_ref(ib)(0, 0) += c1 * g;
+  };
+  return out;
+}
+
+void Tape::run_reverse_sweep(Var output) {
+  check_same_tape(output);
+  const Matrix& out_val = nodes_[output.index].value;
+  if (out_val.size() != 1) {
+    throw ShapeError("backward: output must be a 1x1 scalar");
+  }
+  grad_ref(output.index)(0, 0) = 1.0;
+  for (std::size_t i = output.index + 1; i-- > 0;) {
+    Node& n = nodes_[i];
+    if (!n.requires_grad && !n.bound_param) continue;
+    if (n.grad.empty()) continue;  // unreached: nothing flowed here
+    if (n.backward) n.backward(*this);
+  }
+}
+
+void Tape::backward(Var output) { run_reverse_sweep(output); }
+
+void Tape::backward_into(Var output, GradSink& sink) {
+  grad_sink_ = &sink;
+  try {
+    run_reverse_sweep(output);
+  } catch (...) {
+    grad_sink_ = nullptr;
+    throw;
+  }
+  grad_sink_ = nullptr;
+}
+
+const Matrix& Tape::value(Var v) const {
+  const_cast<Tape*>(this)->check_same_tape(v);
+  return nodes_[v.index].value;
+}
+
+const Matrix& Tape::grad(Var v) const {
+  const_cast<Tape*>(this)->check_same_tape(v);
+  const Node& n = nodes_[v.index];
+  if (n.grad.empty()) {
+    // Lazily produce a zero matrix of the right shape for callers.
+    auto* self = const_cast<Tape*>(this);
+    return self->grad_ref(v.index);
+  }
+  return n.grad;
+}
+
+double gradient_check(Parameter& p,
+                      const std::function<double()>& loss_value_fn,
+                      const Matrix& analytic_grad, double eps) {
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double orig = p.value().data()[i];
+    p.value().data()[i] = orig + eps;
+    const double lp = loss_value_fn();
+    p.value().data()[i] = orig - eps;
+    const double lm = loss_value_fn();
+    p.value().data()[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    max_diff = std::max(max_diff,
+                        std::abs(numeric - analytic_grad.data()[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace rihgcn::ad

@@ -1,0 +1,184 @@
+// Reverse-mode automatic differentiation over rihgcn::Matrix.
+//
+// This is the substitute for the paper's PyTorch training stack (see
+// DESIGN.md §1). The design is a classic Wengert tape:
+//
+//  * A Tape owns a growing vector of Nodes; each op appends one node whose
+//    parents all have smaller indices, so creation order IS a topological
+//    order and backward() is a single reverse sweep.
+//  * Var is a cheap value-type handle (tape pointer + index). Users never
+//    touch Nodes directly.
+//  * Model parameters live OUTSIDE the tape in Parameter objects so they
+//    survive across forward passes; Tape::leaf() snapshots a parameter into
+//    the tape and routes gradients back into Parameter::grad on backward().
+//
+// The one property the paper's training strategy depends on — imputed values
+// X̂ₜ being *trainable variables* that receive delayed gradients from later
+// timesteps (§III-E) — falls out naturally: the recurrent imputation is
+// expressed as tape ops, so gradients flow through every complement step.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rihgcn::ad {
+
+/// A trainable tensor: value + accumulated gradient, living outside any tape.
+class Parameter {
+ public:
+  Parameter() = default;
+  explicit Parameter(Matrix value, std::string name = "")
+      : value_(std::move(value)),
+        grad_(value_.rows(), value_.cols()),
+        name_(std::move(name)) {}
+
+  [[nodiscard]] Matrix& value() noexcept { return value_; }
+  [[nodiscard]] const Matrix& value() const noexcept { return value_; }
+  [[nodiscard]] Matrix& grad() noexcept { return grad_; }
+  [[nodiscard]] const Matrix& grad() const noexcept { return grad_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return value_.size(); }
+
+  void zero_grad() { grad_.fill(0.0); }
+
+ private:
+  Matrix value_;
+  Matrix grad_;
+  std::string name_;
+};
+
+class Tape;
+
+/// Lightweight handle to a tape node. Copyable; valid while the tape lives.
+struct Var {
+  Tape* tape = nullptr;
+  std::size_t index = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return tape != nullptr; }
+  [[nodiscard]] const Matrix& value() const;
+  [[nodiscard]] std::size_t rows() const { return value().rows(); }
+  [[nodiscard]] std::size_t cols() const { return value().cols(); }
+};
+
+/// Reverse-mode AD tape. One forward pass = one tape (cheap to construct).
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // ---- Leaf creation ------------------------------------------------------
+  /// Non-differentiable constant.
+  Var constant(Matrix value);
+  /// Snapshot of an external parameter; backward() accumulates into p.grad().
+  Var leaf(Parameter& p);
+
+  // ---- Elementwise / linear ops -------------------------------------------
+  Var add(Var a, Var b);
+  Var sub(Var a, Var b);
+  /// Elementwise (Hadamard) product of two vars.
+  Var mul(Var a, Var b);
+  /// a * s for scalar s.
+  Var scale(Var a, double s);
+  /// a + s elementwise.
+  Var add_scalar(Var a, double s);
+  /// Elementwise product with a constant matrix (e.g. missingness mask).
+  Var hadamard_const(Var a, const Matrix& m);
+  /// Matrix product.
+  Var matmul(Var a, Var b);
+  /// Multiply every column of a (rows x C) by col (rows x 1) elementwise —
+  /// the attention-weighting primitive.
+  Var mul_col_broadcast(Var a, Var col);
+  /// Add a 1 x C bias row to every row of a (rows x C).
+  Var add_row_broadcast(Var a, Var bias_row);
+
+  // ---- Nonlinearities -------------------------------------------------------
+  Var sigmoid(Var a);
+  Var tanh(Var a);
+  Var relu(Var a);
+  /// Row-wise softmax (used by attention baselines).
+  Var softmax_rows(Var a);
+
+  // ---- Shape ops -------------------------------------------------------------
+  /// Horizontal concatenation [a | b].
+  Var concat_cols(Var a, Var b);
+  /// Horizontal concatenation of many vars.
+  Var concat_cols_many(const std::vector<Var>& vars);
+  /// Columns [c0, c1).
+  Var slice_cols(Var a, std::size_t c0, std::size_t c1);
+  /// Transpose.
+  Var transpose(Var a);
+
+  // ---- Reductions / losses -----------------------------------------------
+  /// Mean over all elements -> 1x1.
+  Var mean_all(Var a);
+  /// Sum over all elements -> 1x1.
+  Var sum_all(Var a);
+  /// Weighted L1: sum(w ⊙ |a - target|) / max(1, sum(w)) -> 1x1.
+  /// `target` and weight matrix `w` are constants (observed data and masks).
+  Var masked_mae(Var a, const Matrix& target, const Matrix& w);
+  /// Weighted L2: sum(w ⊙ (a - target)^2) / max(1, sum(w)) -> 1x1.
+  Var masked_mse(Var a, const Matrix& target, const Matrix& w);
+  /// Mean |a - b| between two vars (consistency term of Eq. 6), optionally
+  /// weighted by a constant matrix of the same shape.
+  Var weighted_l1_between(Var a, Var b, const Matrix& w);
+
+  /// c0*a + c1*b for scalar (1x1) vars — used to combine L_c + λ·L_m.
+  Var affine_combine(Var a, double c0, Var b, double c1);
+
+  // ---- Execution -----------------------------------------------------------
+  /// Run the reverse sweep from scalar node `output` (must be 1x1).
+  /// Accumulates into every bound Parameter's grad (does NOT zero them first,
+  /// so losses from multiple samples in a batch naturally sum).
+  void backward(Var output);
+
+  /// As backward(), but parameter gradients accumulate into `sink` instead
+  /// of Parameter::grad — the building block for data-parallel training,
+  /// where each worker thread owns a private sink that is reduced into the
+  /// parameters afterwards (Parameter values are only read concurrently).
+  using GradSink = std::unordered_map<Parameter*, Matrix>;
+  void backward_into(Var output, GradSink& sink);
+
+  [[nodiscard]] const Matrix& value(Var v) const;
+  /// Gradient of the last backward() wrt node v (zeros if unreached).
+  [[nodiscard]] const Matrix& grad(Var v) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;  // allocated lazily in backward()
+    // Backward step: reads this node's grad, accumulates into parents'.
+    std::function<void(Tape&)> backward;
+    Parameter* bound_param = nullptr;
+    bool requires_grad = false;
+  };
+
+  Var push(Matrix value, bool requires_grad,
+           std::function<void(Tape&)> backward_fn);
+  void run_reverse_sweep(Var output);
+  Node& node(std::size_t i) { return nodes_[i]; }
+  Matrix& grad_ref(std::size_t i);
+  void check_same_tape(Var v) const;
+
+  std::vector<Node> nodes_;
+  Matrix empty_grad_;           // returned for unreached nodes
+  GradSink* grad_sink_ = nullptr;  // non-null only inside backward_into
+};
+
+/// Numerically estimate d(loss)/d(p) via central differences and compare to
+/// the analytic gradient. `loss_fn` must rebuild the graph from scratch on a
+/// fresh tape each call and return the scalar loss VALUE. Returns the max
+/// absolute difference between analytic and numeric gradients.
+double gradient_check(Parameter& p,
+                      const std::function<double()>& loss_value_fn,
+                      const Matrix& analytic_grad, double eps = 1e-6);
+
+}  // namespace rihgcn::ad

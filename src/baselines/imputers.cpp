@@ -1,0 +1,317 @@
+#include "baselines/imputers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+
+namespace rihgcn::baselines {
+
+namespace {
+
+void check_series(const std::vector<Matrix>& values,
+                  const std::vector<Matrix>& mask) {
+  if (values.empty() || values.size() != mask.size()) {
+    throw std::invalid_argument("Imputer: empty or mismatched series");
+  }
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    if (!values[t].same_shape(mask[t]) ||
+        !values[t].same_shape(values[0])) {
+      throw ShapeError("Imputer: inconsistent shapes");
+    }
+  }
+}
+
+/// Copy observed entries of `values` over `filled` (keeps fills elsewhere).
+std::vector<Matrix> overlay_observed(std::vector<Matrix> filled,
+                                     const std::vector<Matrix>& values,
+                                     const std::vector<Matrix>& mask) {
+  for (std::size_t t = 0; t < filled.size(); ++t) {
+    for (std::size_t i = 0; i < filled[t].size(); ++i) {
+      if (mask[t].data()[i] > 0.5) {
+        filled[t].data()[i] = values[t].data()[i];
+      }
+    }
+  }
+  return filled;
+}
+
+}  // namespace
+
+// ---- MeanImputer ------------------------------------------------------------
+
+std::vector<Matrix> MeanImputer::impute(const std::vector<Matrix>& values,
+                                        const std::vector<Matrix>& mask) const {
+  check_series(values, mask);
+  const std::size_t n = values[0].rows();
+  const std::size_t d = values[0].cols();
+  Matrix sum(n, d), count(n, d);
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      if (mask[t].data()[i] > 0.5) {
+        sum.data()[i] += values[t].data()[i];
+        count.data()[i] += 1.0;
+      }
+    }
+  }
+  Matrix mean(n, d);
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    mean.data()[i] = count.data()[i] > 0.0 ? sum.data()[i] / count.data()[i]
+                                           : 0.0;
+  }
+  std::vector<Matrix> out;
+  out.reserve(values.size());
+  for (std::size_t t = 0; t < values.size(); ++t) out.push_back(mean);
+  return overlay_observed(std::move(out), values, mask);
+}
+
+// ---- LastObservedImputer ------------------------------------------------------
+
+std::vector<Matrix> LastObservedImputer::impute(
+    const std::vector<Matrix>& values, const std::vector<Matrix>& mask) const {
+  check_series(values, mask);
+  const std::size_t t_total = values.size();
+  std::vector<Matrix> out(values);
+  const std::size_t cells = values[0].size();
+  for (std::size_t i = 0; i < cells; ++i) {
+    // Forward fill.
+    bool have = false;
+    double last = 0.0;
+    for (std::size_t t = 0; t < t_total; ++t) {
+      if (mask[t].data()[i] > 0.5) {
+        last = values[t].data()[i];
+        have = true;
+      } else if (have) {
+        out[t].data()[i] = last;
+      }
+    }
+    // Backward fill the leading gap.
+    have = false;
+    last = 0.0;
+    for (std::size_t t = t_total; t-- > 0;) {
+      if (mask[t].data()[i] > 0.5) {
+        last = values[t].data()[i];
+        have = true;
+      } else if (have) {
+        // Only entries before the first observation still lack a fill.
+        bool seen_before = false;
+        for (std::size_t s = 0; s < t; ++s) {
+          if (mask[s].data()[i] > 0.5) {
+            seen_before = true;
+            break;
+          }
+        }
+        if (!seen_before) out[t].data()[i] = last;
+      } else {
+        out[t].data()[i] = 0.0;  // stream never observed
+      }
+    }
+  }
+  return out;
+}
+
+// ---- KnnImputer ----------------------------------------------------------------
+
+std::vector<Matrix> KnnImputer::impute(const std::vector<Matrix>& values,
+                                       const std::vector<Matrix>& mask) const {
+  check_series(values, mask);
+  const std::size_t t_total = values.size();
+  const std::size_t n = values[0].rows();
+  const std::size_t d = values[0].cols();
+  // Fallback fills for entries no neighbour can explain.
+  const LastObservedImputer fallback;
+  std::vector<Matrix> out = fallback.impute(values, mask);
+
+  constexpr std::size_t kMinOverlap = 5;
+  for (std::size_t f = 0; f < d; ++f) {
+    // Node-node similarity from co-observed entries of this feature.
+    Matrix sim(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double sq = 0.0;
+        std::size_t overlap = 0;
+        for (std::size_t t = 0; t < t_total; ++t) {
+          if (mask[t](i, f) > 0.5 && mask[t](j, f) > 0.5) {
+            const double diff = values[t](i, f) - values[t](j, f);
+            sq += diff * diff;
+            ++overlap;
+          }
+        }
+        if (overlap >= kMinOverlap) {
+          const double rms = std::sqrt(sq / static_cast<double>(overlap));
+          sim(i, j) = sim(j, i) = 1.0 / (rms + 1e-6);
+        }
+      }
+    }
+    // Weighted mean of the k most similar observed neighbours.
+    std::vector<std::pair<double, std::size_t>> candidates;
+    for (std::size_t t = 0; t < t_total; ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask[t](i, f) > 0.5) continue;
+        candidates.clear();
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i || mask[t](j, f) < 0.5 || sim(i, j) <= 0.0) continue;
+          candidates.emplace_back(sim(i, j), j);
+        }
+        if (candidates.empty()) continue;  // keep the fallback fill
+        const std::size_t k = std::min(k_, candidates.size());
+        std::partial_sort(candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(k),
+                          candidates.end(), std::greater<>());
+        double wsum = 0.0, vsum = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+          wsum += candidates[c].first;
+          vsum += candidates[c].first * values[t](candidates[c].second, f);
+        }
+        out[t](i, f) = vsum / wsum;
+      }
+    }
+  }
+  return overlay_observed(std::move(out), values, mask);
+}
+
+// ---- MatrixFactorizationImputer ----------------------------------------------
+
+std::vector<Matrix> MatrixFactorizationImputer::impute(
+    const std::vector<Matrix>& values, const std::vector<Matrix>& mask) const {
+  check_series(values, mask);
+  const std::size_t t_total = values.size();
+  const std::size_t n = values[0].rows();
+  const std::size_t d = values[0].cols();
+  std::vector<Matrix> out(values);
+  Rng rng(seed_);
+  for (std::size_t f = 0; f < d; ++f) {
+    Matrix u = rng.normal_matrix(n, rank_, 0.1);
+    Matrix v = rng.normal_matrix(t_total, rank_, 0.1);
+    for (std::size_t iter = 0; iter < iters_; ++iter) {
+      // Update U rows.
+      for (std::size_t i = 0; i < n; ++i) {
+        Matrix ata(rank_, rank_);
+        Matrix atb(rank_, 1);
+        for (std::size_t t = 0; t < t_total; ++t) {
+          if (mask[t](i, f) < 0.5) continue;
+          for (std::size_t a = 0; a < rank_; ++a) {
+            for (std::size_t b = 0; b < rank_; ++b) {
+              ata(a, b) += v(t, a) * v(t, b);
+            }
+            atb(a, 0) += v(t, a) * values[t](i, f);
+          }
+        }
+        for (std::size_t a = 0; a < rank_; ++a) ata(a, a) += ridge_;
+        const Matrix sol = solve_linear(std::move(ata), std::move(atb));
+        for (std::size_t a = 0; a < rank_; ++a) u(i, a) = sol(a, 0);
+      }
+      // Update V rows.
+      for (std::size_t t = 0; t < t_total; ++t) {
+        Matrix ata(rank_, rank_);
+        Matrix atb(rank_, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (mask[t](i, f) < 0.5) continue;
+          for (std::size_t a = 0; a < rank_; ++a) {
+            for (std::size_t b = 0; b < rank_; ++b) {
+              ata(a, b) += u(i, a) * u(i, b);
+            }
+            atb(a, 0) += u(i, a) * values[t](i, f);
+          }
+        }
+        for (std::size_t a = 0; a < rank_; ++a) ata(a, a) += ridge_;
+        const Matrix sol = solve_linear(std::move(ata), std::move(atb));
+        for (std::size_t a = 0; a < rank_; ++a) v(t, a) = sol(a, 0);
+      }
+    }
+    // Fill missing entries with the reconstruction.
+    for (std::size_t t = 0; t < t_total; ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask[t](i, f) > 0.5) continue;
+        double s = 0.0;
+        for (std::size_t a = 0; a < rank_; ++a) s += u(i, a) * v(t, a);
+        out[t](i, f) = s;
+      }
+    }
+  }
+  return overlay_observed(std::move(out), values, mask);
+}
+
+// ---- TensorDecompositionImputer --------------------------------------------
+
+std::vector<Matrix> TensorDecompositionImputer::impute(
+    const std::vector<Matrix>& values, const std::vector<Matrix>& mask) const {
+  check_series(values, mask);
+  const std::size_t t_total = values.size();
+  const std::size_t n = values[0].rows();
+  const std::size_t d = values[0].cols();
+  const std::size_t spd = std::min(steps_per_day_, t_total);
+  const std::size_t days = (t_total + spd - 1) / spd;
+  std::vector<Matrix> out(values);
+  Rng rng(seed_);
+  const std::size_t r = rank_;
+  for (std::size_t f = 0; f < d; ++f) {
+    Matrix fa = rng.normal_matrix(n, r, 0.1);     // node factors
+    Matrix fb = rng.normal_matrix(days, r, 0.1);  // day factors
+    Matrix fc = rng.normal_matrix(spd, r, 0.1);   // time-of-day factors
+    // One ALS sweep updates each mode given the other two; the design row
+    // for entry (i, day, slot) is the Hadamard product of the other two
+    // modes' factor rows (Khatri-Rao structure).
+    auto update_mode = [&](Matrix& target, int mode) {
+      const std::size_t rows = target.rows();
+      std::vector<Matrix> ata(rows, Matrix(r, r));
+      std::vector<Matrix> atb(rows, Matrix(r, 1));
+      for (std::size_t t = 0; t < t_total; ++t) {
+        const std::size_t day = t / spd;
+        const std::size_t slot = t % spd;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (mask[t](i, f) < 0.5) continue;
+          std::size_t row;
+          double w[64];
+          for (std::size_t a = 0; a < r; ++a) {
+            switch (mode) {
+              case 0:
+                w[a] = fb(day, a) * fc(slot, a);
+                break;
+              case 1:
+                w[a] = fa(i, a) * fc(slot, a);
+                break;
+              default:
+                w[a] = fa(i, a) * fb(day, a);
+                break;
+            }
+          }
+          row = mode == 0 ? i : (mode == 1 ? day : slot);
+          Matrix& m1 = ata[row];
+          Matrix& m2 = atb[row];
+          const double x = values[t](i, f);
+          for (std::size_t a = 0; a < r; ++a) {
+            for (std::size_t b = 0; b < r; ++b) m1(a, b) += w[a] * w[b];
+            m2(a, 0) += w[a] * x;
+          }
+        }
+      }
+      for (std::size_t row = 0; row < rows; ++row) {
+        for (std::size_t a = 0; a < r; ++a) ata[row](a, a) += ridge_;
+        const Matrix sol = solve_linear(std::move(ata[row]), std::move(atb[row]));
+        for (std::size_t a = 0; a < r; ++a) target(row, a) = sol(a, 0);
+      }
+    };
+    if (r > 64) throw std::invalid_argument("TD rank too large (max 64)");
+    for (std::size_t iter = 0; iter < iters_; ++iter) {
+      update_mode(fa, 0);
+      update_mode(fb, 1);
+      update_mode(fc, 2);
+    }
+    for (std::size_t t = 0; t < t_total; ++t) {
+      const std::size_t day = t / spd;
+      const std::size_t slot = t % spd;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask[t](i, f) > 0.5) continue;
+        double s = 0.0;
+        for (std::size_t a = 0; a < r; ++a) {
+          s += fa(i, a) * fb(day, a) * fc(slot, a);
+        }
+        out[t](i, f) = s;
+      }
+    }
+  }
+  return overlay_observed(std::move(out), values, mask);
+}
+
+}  // namespace rihgcn::baselines

@@ -1,0 +1,151 @@
+#include "core/online.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rihgcn::core {
+
+OnlineForecaster::OnlineForecaster(ForecastModel& model,
+                                   const data::ZScoreNormalizer& normalizer,
+                                   std::size_t num_nodes,
+                                   std::size_t num_features,
+                                   std::size_t lookback, std::size_t horizon,
+                                   std::size_t steps_per_day,
+                                   std::size_t start_slot)
+    : model_(model),
+      normalizer_(normalizer),
+      num_nodes_(num_nodes),
+      num_features_(num_features),
+      lookback_(lookback),
+      horizon_(horizon),
+      steps_per_day_(steps_per_day),
+      start_slot_(start_slot % std::max<std::size_t>(1, steps_per_day)) {
+  if (num_nodes == 0 || num_features == 0 || lookback == 0 || horizon == 0 ||
+      steps_per_day == 0) {
+    throw std::invalid_argument("OnlineForecaster: zero dimension");
+  }
+}
+
+void OnlineForecaster::push_reading(const Matrix& values, const Matrix& mask) {
+  if (values.rows() != num_nodes_ || values.cols() != num_features_ ||
+      !values.same_shape(mask)) {
+    throw ShapeError("OnlineForecaster::push_reading: shape mismatch");
+  }
+  Matrix normalized(num_nodes_, num_features_);
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      normalized(i, f) = mask(i, f) > 0.5
+                             ? normalizer_.normalize_value(values(i, f), f)
+                             : 0.0;
+    }
+  }
+  values_.push_back(std::move(normalized));
+  masks_.push_back(mask);
+  if (values_.size() > lookback_) {
+    values_.pop_front();
+    masks_.pop_front();
+  }
+  ++seen_;
+}
+
+void OnlineForecaster::push_gap() {
+  push_reading(Matrix(num_nodes_, num_features_),
+               Matrix(num_nodes_, num_features_));
+}
+
+data::Window OnlineForecaster::make_window() const {
+  if (seen_ == 0) {
+    throw std::logic_error("OnlineForecaster: no readings pushed yet");
+  }
+  data::Window w;
+  // Warm-up: left-pad with fully-missing steps so the window always has
+  // `lookback` entries — the imputation path fills them.
+  const std::size_t pad = lookback_ - values_.size();
+  // The first buffered reading carries slot (start + seen - size); the
+  // padded window starts `pad` steps earlier.
+  const std::size_t first_slot =
+      (start_slot_ + seen_ - values_.size() + steps_per_day_ * lookback_ -
+       pad) %
+      steps_per_day_;
+  w.slot = first_slot;
+  w.start = 0;
+  for (std::size_t k = 0; k < pad; ++k) {
+    w.x_obs.emplace_back(num_nodes_, num_features_);
+    w.x_mask.emplace_back(num_nodes_, num_features_);
+    w.x_truth.emplace_back(num_nodes_, num_features_);
+  }
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    w.x_obs.push_back(values_[k]);
+    w.x_mask.push_back(masks_[k]);
+    w.x_truth.push_back(values_[k]);  // truth unknown online; mirror obs
+  }
+  // Targets are unknown online; models only read y/y_mask in training_loss.
+  for (std::size_t k = 0; k < horizon_; ++k) {
+    w.y.emplace_back(num_nodes_, 1);
+    w.y_mask.emplace_back(num_nodes_, 1);
+  }
+  return w;
+}
+
+Matrix OnlineForecaster::forecast() {
+  const data::Window w = make_window();
+  Matrix pred = model_.predict(w);
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    for (std::size_t h = 0; h < pred.cols(); ++h) {
+      pred(i, h) = normalizer_.denormalize(pred(i, h), 0);
+    }
+  }
+  return pred;
+}
+
+std::vector<Matrix> OnlineForecaster::completed_history() {
+  const data::Window w = make_window();
+  std::vector<Matrix> filled = model_.impute(w);
+  // Drop the warm-up padding; denormalize the real part.
+  const std::size_t pad = lookback_ - values_.size();
+  std::vector<Matrix> out;
+  for (std::size_t k = pad; k < filled.size(); ++k) {
+    Matrix m = filled[k];
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t f = 0; f < m.cols(); ++f) {
+        m(i, f) = normalizer_.denormalize(m(i, f), f);
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+double OnlineForecaster::buffer_coverage() const {
+  if (masks_.empty()) return 0.0;
+  double observed = 0.0, total = 0.0;
+  for (const Matrix& m : masks_) {
+    observed += m.sum();
+    total += static_cast<double>(m.size());
+  }
+  return observed / total;
+}
+
+std::string model_summary(ForecastModel& model) {
+  std::ostringstream os;
+  os << "Model: " << model.name() << "\n";
+  os << std::left << std::setw(28) << "parameter" << std::setw(12) << "shape"
+     << std::right << std::setw(10) << "count" << "\n";
+  os << std::string(50, '-') << "\n";
+  std::size_t total = 0;
+  for (const ad::Parameter* p : model.parameters()) {
+    std::ostringstream shape;
+    shape << p->value().rows() << "x" << p->value().cols();
+    os << std::left << std::setw(28)
+       << (p->name().empty() ? "<unnamed>" : p->name()) << std::setw(12)
+       << shape.str() << std::right << std::setw(10) << p->size() << "\n";
+    total += p->size();
+  }
+  os << std::string(50, '-') << "\n";
+  os << std::left << std::setw(40) << "total" << std::right << std::setw(10)
+     << total << "\n";
+  return os.str();
+}
+
+}  // namespace rihgcn::core

@@ -1,0 +1,83 @@
+// Online forecasting service — the deployment wrapper the paper's abstract
+// promises ("the potential to be deployed into real-world traffic
+// prediction systems").
+//
+// A trained ForecastModel consumes fixed-length windows of normalized data;
+// a live system instead receives a stream of partial sensor readings in
+// ORIGINAL units and wants forecasts on demand. OnlineForecaster bridges
+// the two:
+//   * maintains a rolling buffer of the last `lookback` readings + masks,
+//   * normalizes inputs with the training-time ZScoreNormalizer,
+//   * pads the warm-up phase (fewer than `lookback` readings so far) with
+//     fully-missing timesteps — exactly what the recurrent imputation
+//     machinery was built to handle,
+//   * returns forecasts and completed (imputed) recent history in original
+//     units.
+//
+// The wrapper never mutates the model; it is cheap to create per stream.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+
+namespace rihgcn::core {
+
+class OnlineForecaster {
+ public:
+  /// `model` and `normalizer` must outlive the forecaster. `steps_per_day`
+  /// and `start_slot` anchor the time-of-day used by HGCN interval weights.
+  OnlineForecaster(ForecastModel& model,
+                   const data::ZScoreNormalizer& normalizer,
+                   std::size_t num_nodes, std::size_t num_features,
+                   std::size_t lookback, std::size_t horizon,
+                   std::size_t steps_per_day, std::size_t start_slot = 0);
+
+  /// Ingest one reading: values in ORIGINAL units; mask flags which entries
+  /// are real (same shapes: num_nodes x num_features). Advances the clock
+  /// by one slot.
+  void push_reading(const Matrix& values, const Matrix& mask);
+  /// Ingest a timestep with no data at all (sensor outage, gap in feed).
+  void push_gap();
+
+  /// Forecast of the target feature for the next `horizon` steps, in
+  /// ORIGINAL units (num_nodes x horizon). Valid as soon as at least one
+  /// reading has been pushed.
+  [[nodiscard]] Matrix forecast();
+
+  /// The model's completed view of the buffered lookback (original units),
+  /// one num_nodes x num_features matrix per buffered step. Empty if the
+  /// model cannot impute.
+  [[nodiscard]] std::vector<Matrix> completed_history();
+
+  [[nodiscard]] std::size_t readings_seen() const noexcept { return seen_; }
+  /// Fraction of entries in the current buffer that are real observations.
+  [[nodiscard]] double buffer_coverage() const;
+  /// Time-of-day slot the NEXT reading will be stamped with.
+  [[nodiscard]] std::size_t next_slot() const noexcept {
+    return (start_slot_ + seen_) % steps_per_day_;
+  }
+
+ private:
+  [[nodiscard]] data::Window make_window() const;
+
+  ForecastModel& model_;
+  const data::ZScoreNormalizer& normalizer_;
+  std::size_t num_nodes_;
+  std::size_t num_features_;
+  std::size_t lookback_;
+  std::size_t horizon_;
+  std::size_t steps_per_day_;
+  std::size_t start_slot_;
+  std::size_t seen_ = 0;
+  std::deque<Matrix> values_;  // normalized, observed-masked
+  std::deque<Matrix> masks_;
+};
+
+/// Human-readable parameter inventory of a model (name, shape, count),
+/// ending with the total — the "model summary" every DL framework grows.
+[[nodiscard]] std::string model_summary(ForecastModel& model);
+
+}  // namespace rihgcn::core

@@ -1,0 +1,163 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "tensor/rng.hpp"
+
+namespace rihgcn::core {
+
+namespace {
+
+std::vector<std::size_t> subsample(const std::vector<std::size_t>& all,
+                                   std::size_t cap, Rng& rng) {
+  if (cap == 0 || all.size() <= cap) return all;
+  // Evenly strided subsample with a random phase: keeps temporal coverage
+  // (pure random subsets can cluster in one part of the timeline).
+  std::vector<std::size_t> out;
+  out.reserve(cap);
+  const double stride = static_cast<double>(all.size()) / static_cast<double>(cap);
+  const double phase = rng.uniform(0.0, stride);
+  for (std::size_t k = 0; k < cap; ++k) {
+    const auto idx = static_cast<std::size_t>(phase + stride * static_cast<double>(k));
+    out.push_back(all[std::min(idx, all.size() - 1)]);
+  }
+  return out;
+}
+
+/// Forward/backward over batch windows [pos, batch_end) using `workers`
+/// threads, each with a private gradient sink; sinks reduce into the
+/// parameters in worker order. Returns the summed batch loss.
+double parallel_batch_gradients(ForecastModel& model,
+                                const data::WindowSampler& sampler,
+                                const std::vector<std::size_t>& train_idx,
+                                const std::vector<std::size_t>& order,
+                                std::size_t pos, std::size_t batch_end,
+                                std::size_t workers) {
+  const std::size_t count = batch_end - pos;
+  workers = std::min(workers, count);
+  std::vector<ad::Tape::GradSink> sinks(workers);
+  std::vector<double> losses(workers, 0.0);
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        // Contiguous slice per worker: deterministic assignment.
+        for (std::size_t b = pos + w; b < batch_end; b += workers) {
+          const data::Window window = sampler.make_window(train_idx[order[b]]);
+          ad::Tape tape;
+          ad::Var loss = model.training_loss(tape, window);
+          losses[w] += tape.value(loss)(0, 0);
+          tape.backward_into(loss, sinks[w]);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  double total_loss = 0.0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    total_loss += losses[w];
+    for (auto& [param, grad] : sinks[w]) param->grad() += grad;
+  }
+  return total_loss;
+}
+
+}  // namespace
+
+TrainReport train_model(ForecastModel& model,
+                        const data::WindowSampler& sampler,
+                        const data::SplitIndices& split,
+                        const TrainConfig& config) {
+  if (split.train.empty()) {
+    throw std::invalid_argument("train_model: empty training split");
+  }
+  Rng rng(config.seed);
+  const std::vector<std::size_t> train_idx =
+      subsample(split.train, config.max_train_windows, rng);
+  const std::vector<std::size_t> val_idx =
+      subsample(split.val, config.max_val_windows, rng);
+
+  std::vector<ad::Parameter*> params = model.parameters();
+  nn::AdamOptimizer::Config opt_cfg;
+  opt_cfg.lr = config.learning_rate;
+  opt_cfg.max_grad_norm = config.max_grad_norm;
+  nn::AdamOptimizer optimizer(params, opt_cfg);
+  nn::EarlyStopping stopper(config.patience);
+
+  TrainReport report;
+  std::vector<Matrix> best_snapshot = nn::snapshot_values(params);
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    // ---- One training epoch ---------------------------------------------
+    std::vector<std::size_t> order = rng.permutation(train_idx.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t pos = 0; pos < order.size();
+         pos += config.batch_size) {
+      const std::size_t batch_end =
+          std::min(order.size(), pos + config.batch_size);
+      optimizer.zero_grad();
+      double batch_loss = 0.0;
+      if (config.num_threads <= 1) {
+        for (std::size_t b = pos; b < batch_end; ++b) {
+          const data::Window w = sampler.make_window(train_idx[order[b]]);
+          ad::Tape tape;
+          ad::Var loss = model.training_loss(tape, w);
+          batch_loss += tape.value(loss)(0, 0);
+          tape.backward(loss);
+        }
+      } else {
+        batch_loss = parallel_batch_gradients(
+            model, sampler, train_idx, order, pos, batch_end,
+            config.num_threads);
+      }
+      // Average the accumulated gradient over the batch.
+      const double inv = 1.0 / static_cast<double>(batch_end - pos);
+      for (ad::Parameter* p : params) p->grad() *= inv;
+      optimizer.step();
+      epoch_loss += batch_loss * inv;
+      ++batches;
+    }
+    report.train_losses.push_back(epoch_loss /
+                                  static_cast<double>(std::max<std::size_t>(1, batches)));
+
+    // ---- Validation -----------------------------------------------------------
+    double val_mae;
+    if (val_idx.empty()) {
+      val_mae = report.train_losses.back();  // degenerate: no val data
+    } else {
+      val_mae = evaluate_prediction(model, sampler, val_idx,
+                                    /*normalizer=*/nullptr)
+                    .mae;
+    }
+    report.val_maes.push_back(val_mae);
+    ++report.epochs_run;
+    if (config.verbose) {
+      std::printf("  [%s] epoch %zu: train %.4f, val MAE %.4f\n",
+                  model.name().c_str(), epoch + 1,
+                  report.train_losses.back(), val_mae);
+    }
+    if (stopper.update(val_mae)) {
+      best_snapshot = nn::snapshot_values(params);
+    }
+    if (stopper.should_stop()) {
+      report.early_stopped = true;
+      break;
+    }
+  }
+  if (config.restore_best && !params.empty()) {
+    nn::restore_values(best_snapshot, params);
+  }
+  report.best_val_mae = stopper.best();
+  return report;
+}
+
+}  // namespace rihgcn::core

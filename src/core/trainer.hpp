@@ -1,0 +1,55 @@
+// Mini-batch trainer shared by RIHGCN and every neural baseline: Adam with
+// gradient clipping (paper §IV-B3: lr 1e-3, batch 64), early stopping on
+// validation MAE with patience 6, and best-epoch parameter restoration.
+//
+// Mini-batching with a per-sample tape: gradients from `batch_size` windows
+// accumulate into the parameters (Tape::backward does not zero them), then
+// one optimizer step is applied to the averaged gradient.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/windows.hpp"
+#include "nn/optim.hpp"
+
+namespace rihgcn::core {
+
+struct TrainConfig {
+  std::size_t max_epochs = 30;
+  std::size_t batch_size = 8;
+  double learning_rate = 1e-3;
+  double max_grad_norm = 5.0;
+  std::size_t patience = 6;  ///< early-stopping patience (paper: 6)
+  /// Random subsample caps keeping CPU budgets sane; 0 = use everything.
+  std::size_t max_train_windows = 0;
+  std::size_t max_val_windows = 0;
+  bool verbose = false;
+  std::uint64_t seed = 1234;
+  /// Restore the best-validation parameters at the end.
+  bool restore_best = true;
+  /// Data-parallel workers per mini-batch. Each worker runs forward/backward
+  /// for a slice of the batch into a private gradient sink; sinks are
+  /// reduced in worker order, so results are deterministic for a fixed
+  /// thread count (floating-point addition order changes with it).
+  std::size_t num_threads = 1;
+};
+
+struct TrainReport {
+  std::size_t epochs_run = 0;
+  double best_val_mae = 0.0;
+  bool early_stopped = false;
+  std::vector<double> train_losses;  ///< mean per epoch
+  std::vector<double> val_maes;      ///< per epoch (normalized units)
+};
+
+/// Train `model` on the train split, early-stop on the validation split.
+TrainReport train_model(ForecastModel& model,
+                        const data::WindowSampler& sampler,
+                        const data::SplitIndices& split,
+                        const TrainConfig& config);
+
+}  // namespace rihgcn::core

@@ -1,0 +1,401 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace rihgcn::data {
+
+namespace {
+
+/// Gaussian bump centred at `center` hours with `width` hours, evaluated at
+/// hour-of-day h (handles wrap-around at midnight).
+double bump(double h, double center, double width) {
+  double d = std::abs(h - center);
+  d = std::min(d, 24.0 - d);
+  return std::exp(-d * d / (2.0 * width * width));
+}
+
+struct Incident {
+  std::size_t corridor;
+  double position_km;    // along the corridor
+  double start_hour;     // absolute hours since dataset start
+  double duration_hours;
+  double severity;       // fraction of speed removed at epicentre
+};
+
+}  // namespace
+
+TrafficDataset generate_pems_like(const PemsLikeConfig& config) {
+  Rng rng(config.seed);
+  const std::size_t n = config.num_nodes;
+  const std::size_t d = config.num_features;
+  const std::size_t total_steps = config.num_days * config.steps_per_day;
+  const double minutes_per_step = 24.0 * 60.0 / static_cast<double>(config.steps_per_day);
+
+  TrafficDataset ds;
+  ds.name = "pems-like";
+  ds.steps_per_day = config.steps_per_day;
+
+  // ---- Geometry: corridors radiating from a hub --------------------------
+  std::vector<std::size_t> corridor(n);
+  std::vector<double> hub_dist(n);  // km along the corridor from the hub
+  ds.coords = Matrix(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    corridor[i] = i % std::max<std::size_t>(1, config.num_corridors);
+    const std::size_t rank = i / std::max<std::size_t>(1, config.num_corridors);
+    hub_dist[i] = 2.0 + 1.5 * static_cast<double>(rank) + rng.uniform(-0.4, 0.4);
+    const double angle = 2.0 * std::numbers::pi *
+                         static_cast<double>(corridor[i]) /
+                         static_cast<double>(std::max<std::size_t>(1, config.num_corridors));
+    ds.coords(i, 0) = hub_dist[i] * std::cos(angle);
+    ds.coords(i, 1) = hub_dist[i] * std::sin(angle);
+  }
+  // Road distances: along a corridor it's the position gap; across
+  // corridors traffic must pass the hub.
+  ds.geo_distances = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = corridor[i] == corridor[j]
+                              ? std::abs(hub_dist[i] - hub_dist[j])
+                              : hub_dist[i] + hub_dist[j];
+      ds.geo_distances(i, j) = ds.geo_distances(j, i) = dist;
+    }
+  }
+
+  // ---- Per-node traffic "personality" --------------------------------------
+  std::vector<double> free_flow(n), severity(n), morning_center(n),
+      evening_center(n);
+  // Spatially smooth severity: a per-corridor base plus a slow gradient with
+  // hub distance, so nearby sensors congest together (what GCN exploits).
+  std::vector<double> corridor_base(config.num_corridors);
+  for (auto& c : corridor_base) c = rng.uniform(0.6, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    free_flow[i] = config.free_flow_mean +
+                   rng.uniform(-config.free_flow_spread, config.free_flow_spread);
+    const double proximity = std::exp(-hub_dist[i] / 12.0);  // worse near hub
+    severity[i] = config.rush_severity * corridor_base[corridor[i]] *
+                  (0.55 + 0.45 * proximity) * rng.uniform(0.85, 1.15);
+    // Congestion wave: the morning inbound wave reaches hub-side sensors
+    // later; the evening outbound wave propagates away from the hub.
+    const double delay_h =
+        hub_dist[i] * config.wave_delay_minutes / 60.0 / 1.5;
+    morning_center[i] = 8.0 - delay_h;   // far sensors congest first inbound
+    evening_center[i] = 17.5 + delay_h;  // near sensors congest first outbound
+  }
+
+  // ---- Incidents -------------------------------------------------------------
+  std::vector<Incident> incidents;
+  const double expected = config.incidents_per_day * static_cast<double>(config.num_days);
+  const std::size_t n_incidents = static_cast<std::size_t>(expected);
+  for (std::size_t k = 0; k < n_incidents; ++k) {
+    Incident inc;
+    inc.corridor = rng.uniform_index(std::max<std::size_t>(1, config.num_corridors));
+    inc.position_km = rng.uniform(2.0, 2.0 + 1.5 * static_cast<double>(n / std::max<std::size_t>(1, config.num_corridors)));
+    inc.start_hour = rng.uniform(5.0, 22.0) +
+                     24.0 * static_cast<double>(rng.uniform_index(config.num_days));
+    inc.duration_hours = rng.uniform(0.3, 1.5);
+    inc.severity = rng.uniform(0.25, 0.6);
+    incidents.push_back(inc);
+  }
+
+  // ---- Time loop ---------------------------------------------------------------
+  std::vector<double> ar_noise(n, 0.0);
+  ds.truth.reserve(total_steps);
+  ds.mask.reserve(total_steps);
+  const double innovation =
+      config.noise_std * std::sqrt(std::max(0.0, 1.0 - config.noise_ar * config.noise_ar));
+  for (std::size_t t = 0; t < total_steps; ++t) {
+    const double abs_hour = static_cast<double>(t) * minutes_per_step / 60.0;
+    const double hour = std::fmod(abs_hour, 24.0);
+    const std::size_t day = t / config.steps_per_day;
+    const bool weekend = (day % 7) >= 5;
+    Matrix x(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double weekday_scale = weekend ? 0.25 : 1.0;
+      double congestion =
+          severity[i] * weekday_scale *
+          (bump(hour, morning_center[i], 1.1) +
+           0.9 * bump(hour, evening_center[i], 1.3)) +
+          0.06 * severity[i] * bump(hour, 12.5, 2.5);  // mild midday
+      for (const Incident& inc : incidents) {
+        if (inc.corridor != corridor[i]) continue;
+        if (abs_hour < inc.start_hour ||
+            abs_hour > inc.start_hour + inc.duration_hours) {
+          continue;
+        }
+        const double road_gap = std::abs(hub_dist[i] - inc.position_km);
+        congestion += inc.severity * std::exp(-road_gap / 2.0);
+      }
+      congestion = std::min(congestion, 0.85);
+      ar_noise[i] = config.noise_ar * ar_noise[i] + rng.normal(0.0, innovation);
+      const double speed =
+          std::clamp(free_flow[i] * (1.0 - congestion) + ar_noise[i], 3.0, 90.0);
+      x(i, 0) = speed;
+      // Lane speeds: fast lane above average, right lane below, each with
+      // its own small noise — correlated features as in PeMS.
+      static constexpr double kLaneOffset[3] = {3.5, 0.5, -4.0};
+      for (std::size_t f = 1; f < d; ++f) {
+        const double off = f - 1 < 3 ? kLaneOffset[f - 1] : 0.0;
+        x(i, f) = std::clamp(speed + off + rng.normal(0.0, 0.8), 3.0, 95.0);
+      }
+    }
+    ds.truth.push_back(std::move(x));
+    ds.mask.emplace_back(n, d, 1.0);
+  }
+  ds.validate();
+  return ds;
+}
+
+TrafficDataset generate_stampede_like(const StampedeLikeConfig& config) {
+  Rng rng(config.seed);
+  const std::size_t n = config.num_segments;
+  const std::size_t total_steps = config.num_days * config.steps_per_day;
+  const double minutes_per_step =
+      24.0 * 60.0 / static_cast<double>(config.steps_per_day);
+
+  TrafficDataset ds;
+  ds.name = "stampede-like";
+  ds.steps_per_day = config.steps_per_day;
+
+  // ---- Geometry: segments around a campus loop ------------------------------
+  ds.coords = Matrix(n, 2);
+  std::vector<double> seg_len_km(n);
+  double loop_km = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    seg_len_km[i] = rng.uniform(0.4, 1.1);
+    loop_km += seg_len_km[i];
+  }
+  double arc = 0.0;
+  std::vector<double> arc_pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    arc_pos[i] = arc + seg_len_km[i] / 2.0;
+    arc += seg_len_km[i];
+    const double theta = 2.0 * std::numbers::pi * arc_pos[i] / loop_km;
+    const double radius = loop_km / (2.0 * std::numbers::pi);
+    ds.coords(i, 0) = radius * std::cos(theta);
+    ds.coords(i, 1) = radius * std::sin(theta);
+  }
+  ds.geo_distances = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double forward = std::abs(arc_pos[i] - arc_pos[j]);
+      const double dist = std::min(forward, loop_km - forward);
+      ds.geo_distances(i, j) = ds.geo_distances(j, i) = dist;
+    }
+  }
+
+  // ---- Travel-time ground truth --------------------------------------------
+  // Class-change surges on the hour during teaching hours; each segment has
+  // its own sensitivity (segments near lecture halls surge harder).
+  std::vector<double> base(n), sensitivity(n);
+  std::vector<int> lights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    base[i] = std::max(45.0, config.base_travel_seconds +
+                                 rng.uniform(-config.base_travel_spread,
+                                             config.base_travel_spread));
+    sensitivity[i] = rng.uniform(0.4, 1.0);
+    lights[i] = static_cast<int>(rng.uniform_index(4));  // traffic lights
+  }
+  static constexpr double kSurgeHours[] = {9.0, 11.0, 13.0, 15.0, 17.0};
+  // Day-to-day variability: surge intensity varies (exam weeks, weather) and
+  // some days host campus events that congest a stretch of the loop in the
+  // evening. Without this the series would be perfectly periodic and the
+  // historical-average baseline would be unbeatable — unlike real campuses.
+  std::vector<double> day_factor(config.num_days);
+  std::vector<int> event_center(config.num_days, -1);
+  for (std::size_t day = 0; day < config.num_days; ++day) {
+    day_factor[day] = rng.uniform(0.6, 1.4);
+    if (rng.bernoulli(0.35)) {
+      event_center[day] = static_cast<int>(rng.uniform_index(n));
+    }
+  }
+  std::vector<double> ar_noise(n, 0.0);
+  ds.truth.reserve(total_steps);
+  for (std::size_t t = 0; t < total_steps; ++t) {
+    const double hour =
+        std::fmod(static_cast<double>(t) * minutes_per_step / 60.0, 24.0);
+    const std::size_t day = t / config.steps_per_day;
+    const bool weekend = (day % 7) >= 5;
+    Matrix x(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      double surge = 0.0;
+      for (const double c : kSurgeHours) surge += bump(hour, c, 0.35);
+      surge *= (weekend ? 0.15 : 1.0) * day_factor[day];
+      if (event_center[day] >= 0) {
+        const double hop =
+            std::min({std::abs(static_cast<double>(i) - event_center[day]),
+                      static_cast<double>(i) + n - event_center[day],
+                      static_cast<double>(event_center[day]) + n - i});
+        surge += 2.5 * bump(hour, 19.0, 1.0) * std::exp(-hop / 2.0);
+      }
+      ar_noise[i] = 0.7 * ar_noise[i] + rng.normal(0.0, config.noise_std);
+      const double light_delay =
+          static_cast<double>(lights[i]) * rng.uniform(0.0, 15.0);
+      const double tt = base[i] *
+                            (1.0 + config.surge_factor * sensitivity[i] * surge) +
+                        light_delay + ar_noise[i];
+      x(i, 0) = std::max(30.0, tt);
+    }
+    ds.truth.push_back(std::move(x));
+    ds.mask.emplace_back(n, 1);  // filled by the shuttle simulation below
+  }
+
+  // ---- Shuttle simulation -> structural observation mask --------------------
+  // Each shuttle circulates the loop during service hours; completing a
+  // segment produces one observation of that segment in the bin where the
+  // traversal finishes. This reproduces the roving-sensor sampling pattern:
+  // quasi-periodic per segment, bursty, with overnight gaps.
+  const double seconds_per_step = minutes_per_step * 60.0;
+  const std::size_t per_loop = std::max<std::size_t>(
+      1, std::min(config.segments_per_loop, n));
+  for (std::size_t k = 0; k < config.num_shuttles; ++k) {
+    // Stagger starting segments and phase so shuttles spread over the loop.
+    std::size_t seg = rng.uniform_index(n);
+    const double clock_s = config.service_start_hour * 3600.0 +
+                           rng.uniform(0.0, config.loop_minutes * 60.0);
+    for (std::size_t day = 0; day < config.num_days; ++day) {
+      const double day_start = static_cast<double>(day) * 86400.0;
+      double tsec = day_start + clock_s;
+      const double day_end = day_start + config.service_end_hour * 3600.0;
+      while (tsec < day_end) {
+        // One loop: traverse `per_loop` consecutive monitored segments...
+        double monitored_time = 0.0;
+        for (std::size_t j = 0; j < per_loop && tsec < day_end; ++j) {
+          const std::size_t bin =
+              std::min(total_steps - 1,
+                       static_cast<std::size_t>(tsec / seconds_per_step));
+          // Traversal takes the segment's current travel time plus a stop.
+          const double tt = ds.truth[bin](seg, 0) + rng.uniform(10.0, 40.0);
+          tsec += tt;
+          monitored_time += tt;
+          if (tsec >= day_end) break;
+          const std::size_t done_bin =
+              std::min(total_steps - 1,
+                       static_cast<std::size_t>(tsec / seconds_per_step));
+          ds.mask[done_bin](seg, 0) = 1.0;
+          seg = (seg + 1) % n;
+        }
+        // ...then spend the rest of the loop on unmonitored city roads.
+        const double loop_s =
+            config.loop_minutes * 60.0 * rng.uniform(0.9, 1.1);
+        tsec += std::max(0.0, loop_s - monitored_time);
+      }
+    }
+  }
+  ds.validate();
+  return ds;
+}
+
+TrafficDataset generate_air_quality_like(const AirQualityConfig& config) {
+  Rng rng(config.seed);
+  const std::size_t n = config.num_stations;
+  const std::size_t total_steps = config.num_days * config.steps_per_day;
+  const double hours_per_step =
+      24.0 / static_cast<double>(config.steps_per_day);
+
+  TrafficDataset ds;
+  ds.name = "air-quality-like";
+  ds.steps_per_day = config.steps_per_day;
+
+  // ---- Station layout: uniform scatter over the city -------------------------
+  ds.coords = Matrix(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.coords(i, 0) = rng.uniform(0.0, config.city_km);
+    ds.coords(i, 1) = rng.uniform(0.0, config.city_km);
+  }
+  // Air pollution diffuses isotropically: road distance == Euclidean.
+  ds.geo_distances = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = ds.coords(i, 0) - ds.coords(j, 0);
+      const double dy = ds.coords(i, 1) - ds.coords(j, 1);
+      const double d = std::sqrt(dx * dx + dy * dy);
+      ds.geo_distances(i, j) = ds.geo_distances(j, i) = d;
+    }
+  }
+
+  // Per-station emission context: stations near the (random) industrial
+  // corner read higher; a traffic-exposure factor scales the diurnal peaks.
+  const double ind_x = rng.uniform(0.0, config.city_km);
+  const double ind_y = rng.uniform(0.0, config.city_km);
+  std::vector<double> industry(n), traffic(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = ds.coords(i, 0) - ind_x;
+    const double dy = ds.coords(i, 1) - ind_y;
+    industry[i] = 10.0 * std::exp(-std::sqrt(dx * dx + dy * dy) / 8.0);
+    traffic[i] = rng.uniform(0.5, 1.3);
+  }
+
+  // ---- Synoptic episodes: stagnation events raising the whole city, with a
+  // front that sweeps across it over ~a day --------------------------------
+  struct Episode {
+    double start_hour;
+    double duration_hours;
+    double magnitude;
+    double dir_x, dir_y;  // front normal (unit)
+  };
+  std::vector<Episode> episodes;
+  const auto n_episodes = static_cast<std::size_t>(config.episodes);
+  for (std::size_t k = 0; k < n_episodes; ++k) {
+    Episode e;
+    e.start_hour = rng.uniform(0.0, 24.0 * static_cast<double>(config.num_days));
+    e.duration_hours = rng.uniform(24.0, 72.0);
+    e.magnitude = rng.uniform(15.0, 45.0);
+    const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    e.dir_x = std::cos(theta);
+    e.dir_y = std::sin(theta);
+    episodes.push_back(e);
+  }
+
+  std::vector<double> ar_noise(n, 0.0);
+  ds.truth.reserve(total_steps);
+  ds.mask.reserve(total_steps);
+  for (std::size_t t = 0; t < total_steps; ++t) {
+    const double abs_hour = static_cast<double>(t) * hours_per_step;
+    const double hour = std::fmod(abs_hour, 24.0);
+    const std::size_t day = t / config.steps_per_day;
+    const bool weekend = (day % 7) >= 5;
+    Matrix x(n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Diurnal: traffic peaks plus a nocturnal boundary-layer bump.
+      const double diurnal =
+          config.traffic_amp * traffic[i] * (weekend ? 0.4 : 1.0) *
+              (bump(hour, 8.0, 1.5) + 0.8 * bump(hour, 18.0, 2.0)) +
+          5.0 * bump(hour, 23.0, 2.5);
+      double episodic = 0.0;
+      for (const Episode& e : episodes) {
+        if (abs_hour < e.start_hour ||
+            abs_hour > e.start_hour + e.duration_hours) {
+          continue;
+        }
+        // Front position sweeps along dir over the first 24 h.
+        const double progress =
+            std::min(1.0, (abs_hour - e.start_hour) / 24.0);
+        const double coord = (ds.coords(i, 0) * e.dir_x +
+                              ds.coords(i, 1) * e.dir_y) /
+                             config.city_km;  // 0..~1.4
+        const double arrival = coord / 1.5;   // fraction of sweep
+        if (progress >= arrival) {
+          // Ramp up after arrival, decay near the episode end.
+          const double tail =
+              (e.start_hour + e.duration_hours - abs_hour) / 12.0;
+          episodic += e.magnitude * std::min({1.0, tail});
+        }
+      }
+      ar_noise[i] = 0.75 * ar_noise[i] + rng.normal(0.0, config.noise_std);
+      const double pm25 = std::max(
+          2.0, config.base_pm + industry[i] + diurnal + episodic + ar_noise[i]);
+      x(i, 0) = pm25;
+      // PM10 tracks PM2.5 with a dust component and its own noise.
+      x(i, 1) = std::max(3.0, 1.4 * pm25 + rng.normal(6.0, 2.0));
+    }
+    ds.truth.push_back(std::move(x));
+    ds.mask.emplace_back(n, 2, 1.0);
+  }
+  ds.validate();
+  return ds;
+}
+
+}  // namespace rihgcn::data

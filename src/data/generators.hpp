@@ -1,0 +1,106 @@
+// Synthetic traffic-data generators standing in for the paper's two
+// datasets (see DESIGN.md §1 for the substitution rationale):
+//
+//  * PemsLikeGenerator — highway loop-detector network a la Caltrans PeMS
+//    district 07: N sensors along corridors, speed in mph with rush-hour
+//    dips, weekday/weekend modulation, spatially propagating congestion
+//    waves, incidents, correlated per-lane features, AR(1) sensor noise.
+//    Data is COMPLETE (mask all ones); experiments inject MCAR missingness
+//    at controlled rates exactly as the paper "randomly drops" values.
+//
+//  * StampedeLikeGenerator — campus shuttle loop a la the paper's private
+//    roving-sensor system: 12 road segments, travel-time measurements that
+//    only exist when a shuttle traverses the segment, yielding high
+//    STRUCTURAL missingness (visit-driven, not MCAR) plus overnight service
+//    gaps. Ground truth is still complete so imputation error is exact.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace rihgcn::data {
+
+struct PemsLikeConfig {
+  std::size_t num_nodes = 30;
+  std::size_t num_days = 28;
+  std::size_t steps_per_day = 288;  ///< 5-minute bins
+  std::size_t num_features = 4;    ///< avg speed + 3 lane speeds (paper)
+  /// Number of highway corridors the sensors are strung along.
+  std::size_t num_corridors = 3;
+  /// Mean free-flow speed (mph) and spread.
+  double free_flow_mean = 65.0;
+  double free_flow_spread = 5.0;
+  /// Peak rush-hour speed drop as a fraction of free-flow (0..1).
+  double rush_severity = 0.45;
+  /// Congestion-wave propagation delay between adjacent sensors (minutes).
+  double wave_delay_minutes = 4.0;
+  /// Expected incidents per day across the network.
+  double incidents_per_day = 1.5;
+  /// AR(1) coefficient and innovation stddev of sensor noise.
+  double noise_ar = 0.8;
+  double noise_std = 1.2;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a PeMS-like dataset (complete mask).
+[[nodiscard]] TrafficDataset generate_pems_like(const PemsLikeConfig& config);
+
+struct StampedeLikeConfig {
+  std::size_t num_segments = 12;
+  std::size_t num_days = 28;
+  std::size_t steps_per_day = 288;  ///< 5-minute bins
+  std::size_t num_shuttles = 15;
+  /// Mean shuttle loop time (minutes) — drives observation frequency.
+  double loop_minutes = 45.0;
+  /// Monitored segments traversed per loop. Shuttles "run among different
+  /// locations in the city" (paper §IV-A2), so most of each loop covers
+  /// road that is NOT one of the 12 monitored segments; each loop only
+  /// crosses a few of them. This is what makes roving-sensor missingness
+  /// high and structural.
+  std::size_t segments_per_loop = 3;
+  /// Service hours (shuttles do not run overnight).
+  double service_start_hour = 6.5;
+  double service_end_hour = 23.0;
+  /// Baseline travel time per segment (seconds) and spread.
+  double base_travel_seconds = 180.0;
+  double base_travel_spread = 60.0;
+  /// Peak congestion multiplier during class-change surges.
+  double surge_factor = 0.8;
+  double noise_std = 12.0;
+  std::uint64_t seed = 43;
+};
+
+/// Generate a Stampede-like roving-sensor dataset. The returned mask is the
+/// structural visit mask (high missing rate by construction, typically
+/// 70-90% depending on num_shuttles/loop_minutes).
+[[nodiscard]] TrafficDataset generate_stampede_like(
+    const StampedeLikeConfig& config);
+
+struct AirQualityConfig {
+  std::size_t num_stations = 20;
+  std::size_t num_days = 28;
+  std::size_t steps_per_day = 24;  ///< hourly, the usual AQ cadence
+  /// City extent (km) the stations are scattered over.
+  double city_km = 25.0;
+  /// Baseline PM2.5 (µg/m³) and traffic-peak amplitude.
+  double base_pm = 22.0;
+  double traffic_amp = 14.0;
+  /// Expected multi-day pollution episodes over the whole period.
+  double episodes = 3.0;
+  double noise_std = 3.0;
+  std::uint64_t seed = 44;
+};
+
+/// Air-quality surrogate — the paper's conclusion claims the framework
+/// generalizes to "air quality prediction with data collected in different
+/// locations of a city"; this generator provides that workload: PM2.5/PM10
+/// station network with diurnal traffic peaks, multi-day synoptic pollution
+/// episodes advected across the city with a spatial gradient, and
+/// station-level correlated features. Mask is complete (inject missingness
+/// with the data::inject_* functions).
+[[nodiscard]] TrafficDataset generate_air_quality_like(
+    const AirQualityConfig& config);
+
+}  // namespace rihgcn::data

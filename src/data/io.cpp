@@ -1,0 +1,120 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace rihgcn::data {
+
+namespace {
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    os << m.data()[i] << (i + 1 == m.size() ? "" : " ");
+  }
+  os << "\n";
+}
+
+Matrix read_matrix(std::istream& is, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!(is >> m.data()[i])) {
+      throw std::runtime_error("load_dataset: truncated matrix data");
+    }
+  }
+  return m;
+}
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  is >> token;
+  if (token != expected) {
+    throw std::runtime_error("load_dataset: expected '" + expected +
+                             "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void save_dataset(std::ostream& os, const TrafficDataset& ds) {
+  ds.validate();
+  os << "rihgcn-dataset v1\n";
+  // Names are single tokens in the format; replace interior whitespace.
+  std::string name = ds.name.empty() ? "unnamed" : ds.name;
+  for (char& c : name) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  }
+  os << name << " " << ds.num_nodes() << " " << ds.num_features() << " "
+     << ds.num_timesteps() << " " << ds.steps_per_day << "\n";
+  os << std::setprecision(17);
+  os << "coords " << ds.coords.rows() << " " << ds.coords.cols() << "\n";
+  write_matrix(os, ds.coords);
+  os << "geo_distances " << ds.geo_distances.rows() << " "
+     << ds.geo_distances.cols() << "\n";
+  write_matrix(os, ds.geo_distances);
+  os << "truth\n";
+  for (const Matrix& x : ds.truth) write_matrix(os, x);
+  os << "mask\n";
+  for (const Matrix& m : ds.mask) write_matrix(os, m);
+}
+
+TrafficDataset load_dataset(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  if (magic != "rihgcn-dataset" || version != "v1") {
+    throw std::runtime_error("load_dataset: bad header");
+  }
+  TrafficDataset ds;
+  std::size_t n = 0, d = 0, t = 0;
+  is >> ds.name >> n >> d >> t >> ds.steps_per_day;
+  if (!is || n == 0 || d == 0 || t == 0) {
+    throw std::runtime_error("load_dataset: bad dimensions");
+  }
+  std::size_t rows = 0, cols = 0;
+  expect_token(is, "coords");
+  is >> rows >> cols;
+  ds.coords = read_matrix(is, rows, cols);
+  expect_token(is, "geo_distances");
+  is >> rows >> cols;
+  ds.geo_distances = read_matrix(is, rows, cols);
+  expect_token(is, "truth");
+  ds.truth.reserve(t);
+  for (std::size_t k = 0; k < t; ++k) ds.truth.push_back(read_matrix(is, n, d));
+  expect_token(is, "mask");
+  ds.mask.reserve(t);
+  for (std::size_t k = 0; k < t; ++k) ds.mask.push_back(read_matrix(is, n, d));
+  ds.validate();
+  return ds;
+}
+
+void save_dataset_file(const std::string& path, const TrafficDataset& ds) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_dataset_file: cannot open " + path);
+  save_dataset(os, ds);
+}
+
+TrafficDataset load_dataset_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_dataset_file: cannot open " + path);
+  return load_dataset(is);
+}
+
+void export_csv(std::ostream& os, const TrafficDataset& ds,
+                std::size_t max_timesteps) {
+  os << "t,node,feature,value,observed\n" << std::setprecision(10);
+  const std::size_t t_end = max_timesteps == 0
+                                ? ds.num_timesteps()
+                                : std::min(max_timesteps, ds.num_timesteps());
+  for (std::size_t t = 0; t < t_end; ++t) {
+    for (std::size_t i = 0; i < ds.num_nodes(); ++i) {
+      for (std::size_t f = 0; f < ds.num_features(); ++f) {
+        os << t << "," << i << "," << f << "," << ds.truth[t](i, f) << ","
+           << (ds.mask[t](i, f) > 0.5 ? 1 : 0) << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace rihgcn::data

@@ -1,0 +1,37 @@
+// Dataset (de)serialization: a versioned, self-describing text format so
+// generated datasets can be frozen to disk, shared between runs, or edited
+// by external tooling, plus a CSV exporter for plotting pipelines.
+//
+// Format (rihgcn-dataset v1):
+//   rihgcn-dataset v1
+//   <name> <N> <D> <T> <steps_per_day>
+//   coords <rows> <cols>        followed by row-major doubles
+//   geo_distances <rows> <cols> followed by row-major doubles
+//   truth                        T blocks of N*D doubles
+//   mask                         T blocks of N*D doubles (0/1)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace rihgcn::data {
+
+/// Serialize the full dataset. Lossless round trip with load_dataset.
+void save_dataset(std::ostream& os, const TrafficDataset& ds);
+
+/// Restore a dataset written by save_dataset; validates on load.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] TrafficDataset load_dataset(std::istream& is);
+
+/// Convenience file wrappers.
+void save_dataset_file(const std::string& path, const TrafficDataset& ds);
+[[nodiscard]] TrafficDataset load_dataset_file(const std::string& path);
+
+/// Long-format CSV export for plotting: t,node,feature,value,observed.
+/// `max_timesteps` (0 = all) truncates large datasets.
+void export_csv(std::ostream& os, const TrafficDataset& ds,
+                std::size_t max_timesteps = 0);
+
+}  // namespace rihgcn::data

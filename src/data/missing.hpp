@@ -1,0 +1,43 @@
+// Missing-data injection and hold-out protocols.
+//
+// The paper's Table I drops observed values uniformly at random at rates
+// 20/40/60/80% (MCAR); its imputation study (RQ2) additionally holds out 30%
+// of the remaining observed entries as imputation ground truth. Real sensor
+// failures are bursty, so a block-missing injector is provided as well for
+// robustness tests (not a paper experiment).
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace rihgcn::data {
+
+/// Drop each currently-observed entry independently with probability `rate`.
+/// Mutates ds.mask only (truth is untouched).
+void inject_mcar(TrafficDataset& ds, double rate, Rng& rng);
+
+/// Drop whole sensor READINGS: with probability `rate`, all D features of a
+/// (node, timestep) pair go missing together. This matches the paper's
+/// failure model (detector malfunction / transmission failure takes out the
+/// entire report) and is what the Table I benches use — entry-level MCAR
+/// leaves correlated lane features behind, which unrealistically softens
+/// the impact of missingness on mean-filled baselines.
+void inject_mcar_readings(TrafficDataset& ds, double rate, Rng& rng);
+
+/// Drop observed entries in temporal bursts: for each (node, feature) stream,
+/// failure episodes start with per-step probability chosen so the expected
+/// overall drop fraction is `rate`; each episode lasts Geometric(1/mean_len).
+void inject_block_missing(TrafficDataset& ds, double rate,
+                          std::size_t mean_block_len, Rng& rng);
+
+/// Imputation hold-out (paper RQ2): move `fraction` of the observed entries
+/// of `ds.mask` into a separate evaluation mask. After the call,
+/// ds.mask has those entries zeroed; the returned tensor has ones exactly at
+/// the held-out positions (same layout as ds.mask).
+[[nodiscard]] std::vector<Matrix> make_imputation_holdout(TrafficDataset& ds,
+                                                          double fraction,
+                                                          Rng& rng);
+
+}  // namespace rihgcn::data

@@ -1,0 +1,77 @@
+#include "data/windows.hpp"
+
+#include <stdexcept>
+
+namespace rihgcn::data {
+
+WindowSampler::WindowSampler(const TrafficDataset& ds, std::size_t lookback,
+                             std::size_t horizon, std::size_t target_feature)
+    : ds_(ds),
+      lookback_(lookback),
+      horizon_(horizon),
+      target_feature_(target_feature) {
+  if (lookback == 0 || horizon == 0) {
+    throw std::invalid_argument("WindowSampler: zero lookback/horizon");
+  }
+  if (target_feature >= ds.num_features()) {
+    throw std::invalid_argument("WindowSampler: target feature out of range");
+  }
+  const std::size_t needed = lookback + horizon;
+  count_ = ds.num_timesteps() >= needed ? ds.num_timesteps() - needed + 1 : 0;
+  if (count_ == 0) {
+    throw std::invalid_argument("WindowSampler: series shorter than window");
+  }
+}
+
+SplitIndices WindowSampler::split(double train_frac, double val_frac) const {
+  if (train_frac <= 0.0 || val_frac < 0.0 || train_frac + val_frac >= 1.0) {
+    throw std::invalid_argument("WindowSampler::split: bad fractions");
+  }
+  SplitIndices out;
+  // Split the TIMELINE, then keep only windows fully inside each region so
+  // no test information leaks into training windows.
+  const std::size_t t_total = ds_.num_timesteps();
+  const auto train_end = static_cast<std::size_t>(train_frac * static_cast<double>(t_total));
+  const auto val_end = static_cast<std::size_t>((train_frac + val_frac) * static_cast<double>(t_total));
+  const std::size_t len = lookback_ + horizon_;
+  for (std::size_t s = 0; s < count_; ++s) {
+    const std::size_t end = s + len;  // one past the last timestep used
+    if (end <= train_end) {
+      out.train.push_back(s);
+    } else if (s >= train_end && end <= val_end) {
+      out.val.push_back(s);
+    } else if (s >= val_end) {
+      out.test.push_back(s);
+    }
+    // Windows straddling a boundary are discarded.
+  }
+  return out;
+}
+
+Window WindowSampler::make_window(std::size_t start) const {
+  if (start + lookback_ + horizon_ > ds_.num_timesteps()) {
+    throw std::out_of_range("WindowSampler::make_window: start too late");
+  }
+  Window w;
+  w.start = start;
+  w.slot = ds_.slot_of(start);
+  w.x_obs.reserve(lookback_);
+  w.x_mask.reserve(lookback_);
+  w.x_truth.reserve(lookback_);
+  for (std::size_t k = 0; k < lookback_; ++k) {
+    const std::size_t t = start + k;
+    w.x_obs.push_back(ds_.observed(t));
+    w.x_mask.push_back(ds_.mask[t]);
+    w.x_truth.push_back(ds_.truth[t]);
+  }
+  w.y.reserve(horizon_);
+  w.y_mask.reserve(horizon_);
+  for (std::size_t k = 0; k < horizon_; ++k) {
+    const std::size_t t = start + lookback_ + k;
+    w.y.push_back(ds_.truth[t].col(target_feature_));
+    w.y_mask.push_back(ds_.mask[t].col(target_feature_));
+  }
+  return w;
+}
+
+}  // namespace rihgcn::data

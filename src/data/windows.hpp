@@ -1,0 +1,66 @@
+// Sliding-window sampling: lookback T=12 steps in, horizon T'=12 steps out
+// (the paper's setup, §IV-B3), with the chronological 7:2:1
+// train/validation/test split of §IV-A3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace rihgcn::data {
+
+/// One materialized training/evaluation sample.
+struct Window {
+  /// Index of the first lookback timestep in the source series.
+  std::size_t start = 0;
+  /// Time-of-day slot of the first lookback timestep.
+  std::size_t slot = 0;
+  /// Masked inputs: truth ⊙ mask, one N x D matrix per lookback step.
+  std::vector<Matrix> x_obs;
+  /// Observation masks, aligned with x_obs.
+  std::vector<Matrix> x_mask;
+  /// Complete ground truth over the lookback (imputation evaluation only —
+  /// never fed to a model).
+  std::vector<Matrix> x_truth;
+  /// Targets: ground-truth PREDICTED feature over the horizon, N x 1 each.
+  std::vector<Matrix> y;
+  /// Mask of target entries a deployed system would have observed (used as
+  /// the training-loss weight so models never train on invisible targets).
+  std::vector<Matrix> y_mask;
+};
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> val;
+  std::vector<std::size_t> test;
+};
+
+class WindowSampler {
+ public:
+  /// `target_feature` selects which feature column becomes the label y
+  /// (paper: traffic speed / travel time, here feature 0).
+  WindowSampler(const TrafficDataset& ds, std::size_t lookback,
+                std::size_t horizon, std::size_t target_feature = 0);
+
+  /// Number of valid window start positions.
+  [[nodiscard]] std::size_t num_windows() const noexcept { return count_; }
+  /// Chronological split of window starts (windows never straddle splits).
+  [[nodiscard]] SplitIndices split(double train_frac = 0.7,
+                                   double val_frac = 0.2) const;
+  /// Materialize the window starting at series index `start`.
+  [[nodiscard]] Window make_window(std::size_t start) const;
+
+  [[nodiscard]] std::size_t lookback() const noexcept { return lookback_; }
+  [[nodiscard]] std::size_t horizon() const noexcept { return horizon_; }
+  [[nodiscard]] const TrafficDataset& dataset() const noexcept { return ds_; }
+
+ private:
+  const TrafficDataset& ds_;
+  std::size_t lookback_;
+  std::size_t horizon_;
+  std::size_t target_feature_;
+  std::size_t count_;
+};
+
+}  // namespace rihgcn::data

@@ -1,0 +1,245 @@
+#include "graph/graph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rihgcn::graph {
+
+Matrix gaussian_adjacency(const Matrix& distances,
+                          const AdjacencyOptions& opts) {
+  const std::size_t n = distances.rows();
+  if (distances.cols() != n) {
+    throw ShapeError("gaussian_adjacency: distance matrix must be square");
+  }
+  double sigma;
+  if (opts.sigma.has_value()) {
+    sigma = *opts.sigma;
+  } else {
+    // std of the off-diagonal distances (paper's convention via DCRNN).
+    double sum = 0.0, sum2 = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        sum += distances(i, j);
+        sum2 += distances(i, j) * distances(i, j);
+        ++count;
+      }
+    }
+    if (count == 0) return Matrix(n, n);
+    const double mean = sum / static_cast<double>(count);
+    sigma = std::sqrt(std::max(0.0, sum2 / static_cast<double>(count) -
+                                        mean * mean));
+  }
+  if (sigma <= 0.0) sigma = 1.0;  // degenerate (all-equal distances)
+  Matrix a(n, n);
+  const double s2 = sigma * sigma;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (opts.zero_diagonal && i == j) continue;
+      const double w = std::exp(-distances(i, j) * distances(i, j) / s2);
+      a(i, j) = w >= opts.epsilon ? w : 0.0;
+    }
+  }
+  return a;
+}
+
+Matrix pairwise_euclidean(const Matrix& coords) {
+  const std::size_t n = coords.rows();
+  const std::size_t d = coords.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double diff = coords(i, k) - coords(j, k);
+        s += diff * diff;
+      }
+      out(i, j) = out(j, i) = std::sqrt(s);
+    }
+  }
+  return out;
+}
+
+Matrix degree_matrix(const Matrix& adjacency) {
+  const std::size_t n = adjacency.rows();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += adjacency(i, j);
+    d(i, i) = s;
+  }
+  return d;
+}
+
+Matrix normalized_laplacian(const Matrix& adjacency) {
+  const std::size_t n = adjacency.rows();
+  if (adjacency.cols() != n) {
+    throw ShapeError("normalized_laplacian: adjacency must be square");
+  }
+  std::vector<double> dinv_sqrt(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += adjacency(i, j);
+    dinv_sqrt[i] = s > 0.0 ? 1.0 / std::sqrt(s) : 0.0;
+  }
+  Matrix lap(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double norm = dinv_sqrt[i] * adjacency(i, j) * dinv_sqrt[j];
+      lap(i, j) = (i == j ? 1.0 : 0.0) - norm;
+    }
+  }
+  return lap;
+}
+
+double largest_eigenvalue(const Matrix& symmetric, std::size_t max_iters,
+                          double tol) {
+  const std::size_t n = symmetric.rows();
+  if (symmetric.cols() != n) {
+    throw ShapeError("largest_eigenvalue: matrix must be square");
+  }
+  if (n == 0) return 0.0;
+  if (n == 1) return symmetric(0, 0);
+  // Power iteration on (M + shift I) so the dominant eigenvalue is the
+  // algebraically largest one even when eigenvalues of mixed sign exist.
+  // For a normalized Laplacian the spectrum is within [0, 2]; shift=2 is
+  // safely larger than |λ_min|.
+  const double shift = 2.0;
+  // Deterministic non-uniform start vector: the all-ones vector is an exact
+  // eigenvector (eigenvalue 0) of regular graphs' normalized Laplacians, and
+  // power iteration can never escape an exact eigenvector.
+  std::vector<double> v(n);
+  double vnorm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 1.0 + 0.5 * std::sin(static_cast<double>(i) * 1.7 + 0.3);
+    vnorm += v[i] * v[i];
+  }
+  vnorm = std::sqrt(vnorm);
+  for (auto& x : v) x /= vnorm;
+  std::vector<double> w(n, 0.0);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = shift * v[i];
+      const double* row = symmetric.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) s += row[j] * v[j];
+      w[i] = s;
+    }
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;
+    double new_lambda = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] /= norm;
+      new_lambda += w[i] * w[i];
+    }
+    // Rayleigh quotient of the shifted matrix.
+    double rq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = shift * w[i];
+      const double* row = symmetric.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) s += row[j] * w[j];
+      rq += w[i] * s;
+    }
+    v.swap(w);
+    if (std::abs(rq - lambda) < tol) {
+      lambda = rq;
+      break;
+    }
+    lambda = rq;
+  }
+  return lambda - shift;
+}
+
+Matrix scaled_laplacian(const Matrix& laplacian, double lambda_max) {
+  const std::size_t n = laplacian.rows();
+  if (laplacian.cols() != n) {
+    throw ShapeError("scaled_laplacian: matrix must be square");
+  }
+  if (lambda_max <= 0.0) lambda_max = largest_eigenvalue(laplacian);
+  if (lambda_max <= 0.0) lambda_max = 2.0;  // empty graph: L == 0
+  Matrix out = laplacian * (2.0 / lambda_max);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) -= 1.0;
+  return out;
+}
+
+Matrix scaled_laplacian_from_distances(const Matrix& distances,
+                                       const AdjacencyOptions& opts) {
+  return scaled_laplacian(normalized_laplacian(gaussian_adjacency(distances,
+                                                                  opts)));
+}
+
+bool is_symmetric(const Matrix& m, double tol) {
+  if (m.rows() != m.cols()) return false;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i + 1; j < m.cols(); ++j) {
+      if (std::abs(m(i, j) - m(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double sparsity(const Matrix& m) {
+  if (m.rows() <= 1) return 0.0;
+  std::size_t zeros = 0, total = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (i == j) continue;
+      ++total;
+      if (m(i, j) == 0.0) ++zeros;
+    }
+  }
+  return static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+std::size_t connected_components(const Matrix& adjacency) {
+  const std::size_t n = adjacency.rows();
+  std::vector<bool> seen(n, false);
+  std::size_t components = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++components;
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!seen[v] && (adjacency(u, v) != 0.0 || adjacency(v, u) != 0.0)) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+RoadGraph::RoadGraph(Matrix coords, const AdjacencyOptions& opts) {
+  distances_ = pairwise_euclidean(coords);
+  finish(opts);
+}
+
+RoadGraph RoadGraph::from_distances(Matrix distances,
+                                    const AdjacencyOptions& opts) {
+  if (distances.rows() != distances.cols()) {
+    throw ShapeError("RoadGraph::from_distances: must be square");
+  }
+  RoadGraph g;
+  g.distances_ = std::move(distances);
+  g.finish(opts);
+  return g;
+}
+
+void RoadGraph::finish(const AdjacencyOptions& opts) {
+  adjacency_ = gaussian_adjacency(distances_, opts);
+  laplacian_ = normalized_laplacian(adjacency_);
+  lambda_max_ = largest_eigenvalue(laplacian_);
+  scaled_laplacian_ = graph::scaled_laplacian(laplacian_, lambda_max_);
+}
+
+}  // namespace rihgcn::graph

@@ -1,0 +1,100 @@
+// Road-network graph machinery: Gaussian-kernel adjacency construction
+// (paper Eq. 8), normalized Laplacian, largest-eigenvalue estimation, and
+// the rescaled Laplacian L̃ = 2L/λ_max − I that Chebyshev GCN consumes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rihgcn::graph {
+
+using rihgcn::Matrix;
+
+/// Options for Gaussian-kernel adjacency construction (paper Eq. 8):
+///   A_ij = exp(-d_ij^2 / sigma^2) if >= epsilon else 0.
+struct AdjacencyOptions {
+  /// Sparsity threshold ε (paper: 0.1).
+  double epsilon = 0.1;
+  /// Kernel width σ. If unset, uses the standard deviation of all pairwise
+  /// distances (the paper's convention, following DCRNN).
+  std::optional<double> sigma;
+  /// Zero the diagonal (self-loops are added by the Laplacian instead).
+  bool zero_diagonal = true;
+};
+
+/// Build the thresholded Gaussian-kernel adjacency from a symmetric distance
+/// matrix. Output is symmetric with zero diagonal (by default).
+[[nodiscard]] Matrix gaussian_adjacency(const Matrix& distances,
+                                        const AdjacencyOptions& opts = {});
+
+/// Pairwise Euclidean distances between rows of `coords` (N x dim).
+[[nodiscard]] Matrix pairwise_euclidean(const Matrix& coords);
+
+/// Degree matrix diag(sum_j A_ij) returned as N x N.
+[[nodiscard]] Matrix degree_matrix(const Matrix& adjacency);
+
+/// Symmetric normalized Laplacian L = I − D^{-1/2} A D^{-1/2}.
+/// Isolated nodes (zero degree) contribute an identity row/column.
+[[nodiscard]] Matrix normalized_laplacian(const Matrix& adjacency);
+
+/// Largest eigenvalue by power iteration on (L + shift·I) — L's spectrum lies
+/// in [0, 2], so the shift makes the dominant eigenvalue unambiguous.
+/// Returns λ_max of L.
+[[nodiscard]] double largest_eigenvalue(const Matrix& symmetric,
+                                        std::size_t max_iters = 200,
+                                        double tol = 1e-9);
+
+/// Chebyshev rescaling: L̃ = 2L/λ_max − I. If lambda_max <= 0 it is
+/// estimated with largest_eigenvalue().
+[[nodiscard]] Matrix scaled_laplacian(const Matrix& laplacian,
+                                      double lambda_max = -1.0);
+
+/// Convenience: distance matrix -> scaled Laplacian in one call.
+[[nodiscard]] Matrix scaled_laplacian_from_distances(
+    const Matrix& distances, const AdjacencyOptions& opts = {});
+
+// ---- Structural checks (used by tests and data validation) ----------------
+
+[[nodiscard]] bool is_symmetric(const Matrix& m, double tol = 1e-12);
+/// Fraction of off-diagonal entries that are exactly zero.
+[[nodiscard]] double sparsity(const Matrix& m);
+/// Number of connected components treating nonzero entries as edges.
+[[nodiscard]] std::size_t connected_components(const Matrix& adjacency);
+
+/// A static road-network graph: node coordinates plus derived matrices.
+/// This is the "geographic graph" of the paper; the temporal graphs reuse the
+/// same adjacency/Laplacian pipeline with DTW distances instead of meters.
+class RoadGraph {
+ public:
+  /// coords: N x dim node positions (e.g. projected lon/lat in km).
+  RoadGraph(Matrix coords, const AdjacencyOptions& opts = {});
+  /// Directly from a precomputed symmetric distance matrix.
+  static RoadGraph from_distances(Matrix distances,
+                                  const AdjacencyOptions& opts = {});
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return adjacency_.rows();
+  }
+  [[nodiscard]] const Matrix& distances() const noexcept { return distances_; }
+  [[nodiscard]] const Matrix& adjacency() const noexcept { return adjacency_; }
+  [[nodiscard]] const Matrix& laplacian() const noexcept { return laplacian_; }
+  [[nodiscard]] const Matrix& scaled_laplacian() const noexcept {
+    return scaled_laplacian_;
+  }
+  [[nodiscard]] double lambda_max() const noexcept { return lambda_max_; }
+
+ private:
+  RoadGraph() = default;
+  void finish(const AdjacencyOptions& opts);
+
+  Matrix distances_;
+  Matrix adjacency_;
+  Matrix laplacian_;
+  Matrix scaled_laplacian_;
+  double lambda_max_ = 0.0;
+};
+
+}  // namespace rihgcn::graph

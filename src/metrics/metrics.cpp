@@ -1,0 +1,177 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace rihgcn::metrics {
+
+void ErrorAccumulator::add(const Matrix& pred, const Matrix& truth,
+                           const Matrix& weight) {
+  if (!pred.same_shape(truth) || !pred.same_shape(weight)) {
+    throw ShapeError("ErrorAccumulator::add: shape mismatch");
+  }
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double w = weight.data()[i];
+    if (w <= 0.0) continue;
+    const double d = pred.data()[i] - truth.data()[i];
+    abs_sum_ += w * std::abs(d);
+    sq_sum_ += w * d * d;
+    count_ += w;
+    if (std::abs(truth.data()[i]) > kMapeFloor) {
+      pct_sum_ += w * std::abs(d / truth.data()[i]);
+      pct_count_ += w;
+    }
+  }
+}
+
+void ErrorAccumulator::add(const Matrix& pred, const Matrix& truth) {
+  add(pred, truth, Matrix(pred.rows(), pred.cols(), 1.0));
+}
+
+void ErrorAccumulator::add_scalar(double pred, double truth, double weight) {
+  if (weight <= 0.0) return;
+  const double d = pred - truth;
+  abs_sum_ += weight * std::abs(d);
+  sq_sum_ += weight * d * d;
+  count_ += weight;
+  if (std::abs(truth) > kMapeFloor) {
+    pct_sum_ += weight * std::abs(d / truth);
+    pct_count_ += weight;
+  }
+}
+
+void ErrorAccumulator::merge(const ErrorAccumulator& other) {
+  abs_sum_ += other.abs_sum_;
+  sq_sum_ += other.sq_sum_;
+  count_ += other.count_;
+  pct_sum_ += other.pct_sum_;
+  pct_count_ += other.pct_count_;
+}
+
+double ErrorAccumulator::mae() const {
+  if (count_ == 0.0) throw std::logic_error("mae: no samples accumulated");
+  return abs_sum_ / count_;
+}
+
+double ErrorAccumulator::rmse() const {
+  if (count_ == 0.0) throw std::logic_error("rmse: no samples accumulated");
+  return std::sqrt(sq_sum_ / count_);
+}
+
+double ErrorAccumulator::mape() const {
+  if (pct_count_ == 0.0) {
+    throw std::logic_error("mape: no nonzero-truth samples accumulated");
+  }
+  return pct_sum_ / pct_count_;
+}
+
+void ErrorAccumulator::reset() {
+  abs_sum_ = sq_sum_ = count_ = pct_sum_ = pct_count_ = 0.0;
+}
+
+double masked_mae(const Matrix& pred, const Matrix& truth,
+                  const Matrix& weight) {
+  ErrorAccumulator acc;
+  acc.add(pred, truth, weight);
+  return acc.empty() ? 0.0 : acc.mae();
+}
+
+double masked_rmse(const Matrix& pred, const Matrix& truth,
+                   const Matrix& weight) {
+  ErrorAccumulator acc;
+  acc.add(pred, truth, weight);
+  return acc.empty() ? 0.0 : acc.rmse();
+}
+
+ResultTable::ResultTable(std::string title,
+                         std::vector<std::string> group_labels)
+    : title_(std::move(title)), group_labels_(std::move(group_labels)) {
+  if (group_labels_.empty()) {
+    throw std::invalid_argument("ResultTable: no groups");
+  }
+}
+
+std::size_t ResultTable::method_row(const std::string& method) {
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i] == method) return i;
+  }
+  methods_.push_back(method);
+  cells_.emplace_back(group_labels_.size());
+  return methods_.size() - 1;
+}
+
+void ResultTable::set(const std::string& method, std::size_t group, double mae,
+                      double rmse) {
+  if (group >= group_labels_.size()) {
+    throw std::out_of_range("ResultTable::set: group out of range");
+  }
+  Cell& c = cells_[method_row(method)][group];
+  c.mae = mae;
+  c.rmse = rmse;
+  c.present = true;
+}
+
+std::pair<double, double> ResultTable::cell(const std::string& method,
+                                            std::size_t group) const {
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i] == method) {
+      const Cell& c = cells_[i].at(group);
+      if (!c.present) throw std::logic_error("ResultTable::cell: empty cell");
+      return {c.mae, c.rmse};
+    }
+  }
+  throw std::logic_error("ResultTable::cell: unknown method " + method);
+}
+
+std::string ResultTable::to_string() const {
+  std::ostringstream os;
+  constexpr int kMethodWidth = 16;
+  constexpr int kNumWidth = 9;
+  os << title_ << "\n";
+  os << std::left << std::setw(kMethodWidth) << "Method" << std::right;
+  for (const std::string& g : group_labels_) {
+    std::string label = g;
+    const int group_width = 2 * kNumWidth;
+    const int pad = group_width - static_cast<int>(label.size());
+    os << std::string(std::max(1, pad / 2 + pad % 2), ' ') << label
+       << std::string(static_cast<std::size_t>(std::max(0, pad / 2)), ' ');
+  }
+  os << "\n" << std::left << std::setw(kMethodWidth) << "" << std::right;
+  for (std::size_t g = 0; g < group_labels_.size(); ++g) {
+    os << std::setw(kNumWidth) << "MAE" << std::setw(kNumWidth) << "RMSE";
+  }
+  os << "\n";
+  os << std::string(kMethodWidth + 2 * kNumWidth * group_labels_.size(), '-')
+     << "\n";
+  os << std::fixed << std::setprecision(4);
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    os << std::left << std::setw(kMethodWidth) << methods_[i] << std::right;
+    for (const Cell& c : cells_[i]) {
+      if (c.present) {
+        os << std::setw(kNumWidth) << c.mae << std::setw(kNumWidth) << c.rmse;
+      } else {
+        os << std::setw(kNumWidth) << "-" << std::setw(kNumWidth) << "-";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ResultTable::to_csv() const {
+  std::ostringstream os;
+  os << "method,group,mae,rmse\n" << std::setprecision(10);
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    for (std::size_t g = 0; g < group_labels_.size(); ++g) {
+      const Cell& c = cells_[i][g];
+      if (!c.present) continue;
+      os << methods_[i] << "," << group_labels_[g] << "," << c.mae << ","
+         << c.rmse << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rihgcn::metrics

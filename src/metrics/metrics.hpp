@@ -1,0 +1,91 @@
+// Evaluation metrics (masked MAE / RMSE, the paper's two metrics) and an
+// accumulator that aggregates errors over many windows/horizons, plus the
+// fixed-width table formatting used by the bench harnesses to print
+// paper-style result tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rihgcn::metrics {
+
+using rihgcn::Matrix;
+
+/// Streaming accumulator of absolute and squared errors over weighted
+/// entries. Thread-compatible (no sharing), cheap to merge.
+class ErrorAccumulator {
+ public:
+  /// Accumulate |pred - truth| and (pred - truth)^2 where weight > 0.
+  void add(const Matrix& pred, const Matrix& truth, const Matrix& weight);
+  /// Accumulate with implicit all-ones weight.
+  void add(const Matrix& pred, const Matrix& truth);
+  void add_scalar(double pred, double truth, double weight = 1.0);
+  void merge(const ErrorAccumulator& other);
+
+  [[nodiscard]] double mae() const;
+  [[nodiscard]] double rmse() const;
+  /// Mean absolute percentage error over entries with |truth| > mape_floor
+  /// (near-zero truths would explode the ratio; they are skipped, matching
+  /// common traffic-forecasting practice).
+  [[nodiscard]] double mape() const;
+  [[nodiscard]] double count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0.0; }
+  void reset();
+
+  /// Threshold below which |truth| is considered zero for MAPE.
+  static constexpr double kMapeFloor = 1e-6;
+
+ private:
+  double abs_sum_ = 0.0;
+  double sq_sum_ = 0.0;
+  double count_ = 0.0;
+  double pct_sum_ = 0.0;
+  double pct_count_ = 0.0;
+};
+
+/// One-shot masked MAE.
+[[nodiscard]] double masked_mae(const Matrix& pred, const Matrix& truth,
+                                const Matrix& weight);
+/// One-shot masked RMSE.
+[[nodiscard]] double masked_rmse(const Matrix& pred, const Matrix& truth,
+                                 const Matrix& weight);
+
+/// Fixed-layout results table: rows = methods, column groups = sweep points,
+/// each group holding MAE and RMSE — the layout of the paper's Tables I/II.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> group_labels);
+
+  /// Record one (method, group) cell.
+  void set(const std::string& method, std::size_t group, double mae,
+           double rmse);
+  /// Render in the paper's layout. Missing cells print as "-".
+  [[nodiscard]] std::string to_string() const;
+  /// Render as CSV (method,group_label,mae,rmse per line) for plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] const std::vector<std::string>& methods() const noexcept {
+    return methods_;
+  }
+  /// Lookup a cell; throws if absent.
+  [[nodiscard]] std::pair<double, double> cell(const std::string& method,
+                                               std::size_t group) const;
+
+ private:
+  struct Cell {
+    double mae = -1.0;
+    double rmse = -1.0;
+    bool present = false;
+  };
+  [[nodiscard]] std::size_t method_row(const std::string& method);
+
+  std::string title_;
+  std::vector<std::string> group_labels_;
+  std::vector<std::string> methods_;
+  std::vector<std::vector<Cell>> cells_;  // [method][group]
+};
+
+}  // namespace rihgcn::metrics

@@ -1,0 +1,149 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace rihgcn::nn {
+
+AdamOptimizer::AdamOptimizer(std::vector<ad::Parameter*> params, Config config)
+    : params_(std::move(params)), config_(config), lr_(config.lr) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ad::Parameter* p : params_) {
+    if (p == nullptr) throw std::invalid_argument("AdamOptimizer: null param");
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void AdamOptimizer::zero_grad() {
+  for (ad::Parameter* p : params_) p->zero_grad();
+}
+
+double AdamOptimizer::step() {
+  const double raw_norm = global_grad_norm(params_);
+  if (config_.max_grad_norm > 0.0) {
+    clip_global_grad_norm(params_, config_.max_grad_norm);
+  }
+  ++t_;
+  if (config_.lr_decay_every > 0 && config_.lr_decay != 1.0 &&
+      t_ % config_.lr_decay_every == 0) {
+    lr_ *= config_.lr_decay;
+  }
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ad::Parameter& p = *params_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    double* pv = p.value().data();
+    const double* g = p.grad().data();
+    double* mp = m.data();
+    double* vp = v.data();
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      if (config_.weight_decay > 0.0) {
+        pv[j] -= lr_ * config_.weight_decay * pv[j];  // decoupled (AdamW)
+      }
+      mp[j] = config_.beta1 * mp[j] + (1.0 - config_.beta1) * g[j];
+      vp[j] = config_.beta2 * vp[j] + (1.0 - config_.beta2) * g[j] * g[j];
+      const double mhat = mp[j] / bc1;
+      const double vhat = vp[j] / bc2;
+      pv[j] -= lr_ * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+  return raw_norm;
+}
+
+double global_grad_norm(const std::vector<ad::Parameter*>& params) {
+  double s = 0.0;
+  for (const ad::Parameter* p : params) {
+    const double n = p->grad().norm();
+    s += n * n;
+  }
+  return std::sqrt(s);
+}
+
+void clip_global_grad_norm(const std::vector<ad::Parameter*>& params,
+                           double max_norm) {
+  const double norm = global_grad_norm(params);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (ad::Parameter* p : params) p->grad() *= scale;
+}
+
+bool EarlyStopping::update(double value) {
+  if (value < best_ - min_delta_) {
+    best_ = value;
+    bad_epochs_ = 0;
+    return true;
+  }
+  ++bad_epochs_;
+  return false;
+}
+
+void save_parameters(std::ostream& os,
+                     const std::vector<ad::Parameter*>& params) {
+  os << "rihgcn-params v1\n" << params.size() << "\n";
+  os << std::setprecision(17);
+  for (const ad::Parameter* p : params) {
+    const Matrix& m = p->value();
+    os << p->name() << "\n" << m.rows() << " " << m.cols() << "\n";
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      os << m.data()[i] << (i + 1 == m.size() ? "" : " ");
+    }
+    os << "\n";
+  }
+}
+
+void load_parameters(std::istream& is,
+                     const std::vector<ad::Parameter*>& params) {
+  std::string magic, version;
+  is >> magic >> version;
+  if (magic != "rihgcn-params" || version != "v1") {
+    throw std::runtime_error("load_parameters: bad header");
+  }
+  std::size_t count = 0;
+  is >> count;
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (ad::Parameter* p : params) {
+    std::string name;
+    std::size_t rows = 0, cols = 0;
+    is >> name >> rows >> cols;
+    if (rows != p->value().rows() || cols != p->value().cols()) {
+      throw std::runtime_error("load_parameters: shape mismatch for '" + name +
+                               "'");
+    }
+    for (std::size_t i = 0; i < p->value().size(); ++i) {
+      is >> p->value().data()[i];
+    }
+  }
+  if (!is) throw std::runtime_error("load_parameters: truncated stream");
+}
+
+std::vector<Matrix> snapshot_values(
+    const std::vector<ad::Parameter*>& params) {
+  std::vector<Matrix> snap;
+  snap.reserve(params.size());
+  for (const ad::Parameter* p : params) snap.push_back(p->value());
+  return snap;
+}
+
+void restore_values(const std::vector<Matrix>& snapshot,
+                    const std::vector<ad::Parameter*>& params) {
+  if (snapshot.size() != params.size()) {
+    throw std::invalid_argument("restore_values: size mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!snapshot[i].same_shape(params[i]->value())) {
+      throw std::invalid_argument("restore_values: shape mismatch");
+    }
+    params[i]->value() = snapshot[i];
+  }
+}
+
+}  // namespace rihgcn::nn

@@ -1,0 +1,101 @@
+// Optimization utilities: Adam with global-norm gradient clipping (the
+// paper's training recipe, §IV-B3), early stopping on validation loss
+// (patience 6 in the paper), and parameter (de)serialization for
+// checkpointing.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "autodiff/tape.hpp"
+
+namespace rihgcn::nn {
+
+/// Adam (Kingma & Ba 2015) over a fixed set of externally-owned parameters.
+class AdamOptimizer {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    /// Clip gradients to this global L2 norm before each step; <=0 disables.
+    double max_grad_norm = 5.0;
+    /// Decoupled weight decay (AdamW, Loshchilov & Hutter 2019); 0 = plain
+    /// Adam. Applied as p -= lr * weight_decay * p before the Adam update.
+    double weight_decay = 0.0;
+    /// Multiply the learning rate by this factor every `lr_decay_every`
+    /// steps; 1.0 disables scheduling.
+    double lr_decay = 1.0;
+    std::size_t lr_decay_every = 0;
+  };
+
+  explicit AdamOptimizer(std::vector<ad::Parameter*> params)
+      : AdamOptimizer(std::move(params), Config()) {}
+  AdamOptimizer(std::vector<ad::Parameter*> params, Config config);
+
+  /// Zero every parameter's gradient accumulator.
+  void zero_grad();
+  /// Apply one Adam update from the accumulated gradients.
+  /// Returns the (pre-clip) global gradient norm, useful for logging.
+  double step();
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_steps() const noexcept { return t_; }
+  /// Learning rate currently in effect (after any scheduled decay).
+  [[nodiscard]] double current_lr() const noexcept { return lr_; }
+
+ private:
+  std::vector<ad::Parameter*> params_;
+  Config config_;
+  std::vector<Matrix> m_;  // first moments, aligned with params_
+  std::vector<Matrix> v_;  // second moments
+  std::size_t t_ = 0;
+  double lr_ = 0.0;  // current (possibly decayed) learning rate
+};
+
+/// Global L2 norm of all parameter gradients.
+[[nodiscard]] double global_grad_norm(const std::vector<ad::Parameter*>& params);
+/// Scale all gradients so their global norm is at most `max_norm`.
+void clip_global_grad_norm(const std::vector<ad::Parameter*>& params,
+                           double max_norm);
+
+/// Early stopping on a monitored value that should decrease.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(std::size_t patience = 6, double min_delta = 0.0)
+      : patience_(patience), min_delta_(min_delta) {}
+
+  /// Report a new validation metric. Returns true if this is a new best.
+  bool update(double value);
+  /// True once `patience` consecutive non-improving updates have occurred.
+  [[nodiscard]] bool should_stop() const noexcept {
+    return bad_epochs_ >= patience_;
+  }
+  [[nodiscard]] double best() const noexcept { return best_; }
+  [[nodiscard]] std::size_t bad_epochs() const noexcept { return bad_epochs_; }
+
+ private:
+  std::size_t patience_;
+  double min_delta_;
+  double best_ = 1e300;
+  std::size_t bad_epochs_ = 0;
+};
+
+/// Serialize parameter values (shape + raw doubles, text format) so models
+/// can be checkpointed and restored. Order must match between save and load.
+void save_parameters(std::ostream& os,
+                     const std::vector<ad::Parameter*>& params);
+/// Restore values saved by save_parameters; throws on shape mismatch.
+void load_parameters(std::istream& is,
+                     const std::vector<ad::Parameter*>& params);
+
+/// Snapshot / restore parameter values in memory (for early-stopping
+/// "keep the best epoch" behaviour).
+[[nodiscard]] std::vector<Matrix> snapshot_values(
+    const std::vector<ad::Parameter*>& params);
+void restore_values(const std::vector<Matrix>& snapshot,
+                    const std::vector<ad::Parameter*>& params);
+
+}  // namespace rihgcn::nn

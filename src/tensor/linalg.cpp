@@ -1,0 +1,61 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rihgcn {
+
+Matrix solve_linear(Matrix a, Matrix b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.rows() != n) {
+    throw ShapeError("solve_linear: incompatible shapes");
+  }
+  const std::size_t m = b.cols();
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw std::runtime_error("solve_linear: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      for (std::size_t c = 0; c < m; ++c) std::swap(b(col, c), b(pivot, c));
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      for (std::size_t c = 0; c < m; ++c) b(r, c) -= f * b(col, c);
+    }
+  }
+  // Back substitution.
+  Matrix x(n, m);
+  for (std::size_t ri = n; ri-- > 0;) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double s = b(ri, c);
+      for (std::size_t k = ri + 1; k < n; ++k) s -= a(ri, k) * x(k, c);
+      x(ri, c) = s / a(ri, ri);
+    }
+  }
+  return x;
+}
+
+Matrix ridge_least_squares(const Matrix& a, const Matrix& b, double ridge) {
+  if (a.rows() != b.rows()) {
+    throw ShapeError("ridge_least_squares: row mismatch");
+  }
+  Matrix ata = matmul_at(a, a);
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
+  Matrix atb = matmul_at(a, b);
+  return solve_linear(std::move(ata), std::move(atb));
+}
+
+}  // namespace rihgcn

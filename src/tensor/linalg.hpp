@@ -1,0 +1,20 @@
+// Small dense linear-algebra routines used by the classical baselines
+// (VAR least squares, ALS matrix/tensor factorization): Gaussian elimination
+// with partial pivoting and a ridge-regularized least-squares solver.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace rihgcn {
+
+/// Solve A X = B for X (A square, n x n; B n x m) by Gaussian elimination
+/// with partial pivoting. Throws std::runtime_error on (numerically)
+/// singular A.
+[[nodiscard]] Matrix solve_linear(Matrix a, Matrix b);
+
+/// Ridge least squares: argmin_X ||A X - B||^2 + ridge ||X||^2, solved via
+/// the normal equations (AᵀA + ridge I) X = AᵀB. A: (s x n), B: (s x m).
+[[nodiscard]] Matrix ridge_least_squares(const Matrix& a, const Matrix& b,
+                                         double ridge = 1e-6);
+
+}  // namespace rihgcn

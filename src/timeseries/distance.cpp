@@ -1,0 +1,158 @@
+#include "timeseries/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rihgcn::ts {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Generic DTW skeleton parameterized by a local-cost callable cost(i, j).
+template <typename CostFn>
+double dtw_impl(std::size_t n, std::size_t m, std::ptrdiff_t band,
+                CostFn&& cost) {
+  if (n == 0 || m == 0) {
+    throw std::invalid_argument("dtw: empty series");
+  }
+  // Two-row rolling DP. dp[j] = cost of aligning a[0..i] with b[0..j].
+  std::vector<double> prev(m, kInf), curr(m, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    std::size_t j_lo = 0, j_hi = m;
+    if (band >= 0) {
+      const std::ptrdiff_t center =
+          static_cast<std::ptrdiff_t>(i) * static_cast<std::ptrdiff_t>(m) /
+          static_cast<std::ptrdiff_t>(n);
+      j_lo = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, center - band));
+      j_hi = static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(m),
+                                   center + band + 1));
+    }
+    for (std::size_t j = j_lo; j < j_hi; ++j) {
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);
+        if (j > 0) best = std::min(best, curr[j - 1]);
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);
+      }
+      curr[j] = best + cost(i, j);
+    }
+    prev.swap(curr);
+  }
+  return prev[m - 1];
+}
+
+}  // namespace
+
+double dtw(std::span<const double> a, std::span<const double> b,
+           std::ptrdiff_t band) {
+  return dtw_impl(a.size(), b.size(), band, [&](std::size_t i, std::size_t j) {
+    return std::abs(a[i] - b[j]);
+  });
+}
+
+double dtw_multivariate(const Matrix& a, const Matrix& b,
+                        std::ptrdiff_t band) {
+  if (a.cols() != b.cols()) {
+    throw ShapeError("dtw_multivariate: dimension mismatch");
+  }
+  const std::size_t d = a.cols();
+  return dtw_impl(a.rows(), b.rows(), band, [&](std::size_t i, std::size_t j) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double diff = a(i, k) - b(j, k);
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  });
+}
+
+double erp(std::span<const double> a, std::span<const double> b, double gap) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  std::vector<double> prev(m + 1, 0.0), curr(m + 1, 0.0);
+  for (std::size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + std::abs(b[j - 1] - gap);
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    curr[0] = prev[0] + std::abs(a[i - 1] - gap);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double match = prev[j - 1] + std::abs(a[i - 1] - b[j - 1]);
+      const double del_a = prev[j] + std::abs(a[i - 1] - gap);
+      const double del_b = curr[j - 1] + std::abs(b[j - 1] - gap);
+      curr[j] = std::min({match, del_a, del_b});
+    }
+    prev.swap(curr);
+  }
+  return prev[m];
+}
+
+double lcss_distance(std::span<const double> a, std::span<const double> b,
+                     double eps, std::size_t delta) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 1.0;
+  std::vector<std::size_t> prev(m + 1, 0), curr(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const bool within_delta =
+          (i > j ? i - j : j - i) <= delta;
+      if (within_delta && std::abs(a[i - 1] - b[j - 1]) < eps) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    prev.swap(curr);
+  }
+  const double lcss = static_cast<double>(prev[m]);
+  return 1.0 - lcss / static_cast<double>(std::min(n, m));
+}
+
+double series_distance(SeriesDistance kind, std::span<const double> a,
+                       std::span<const double> b) {
+  switch (kind) {
+    case SeriesDistance::kDtw:
+      return dtw(a, b);
+    case SeriesDistance::kErp:
+      return erp(a, b);
+    case SeriesDistance::kLcss: {
+      double sum = 0.0, sum2 = 0.0;
+      const std::size_t total = a.size() + b.size();
+      for (double x : a) sum += x, sum2 += x * x;
+      for (double x : b) sum += x, sum2 += x * x;
+      const double mean = sum / static_cast<double>(total);
+      const double var =
+          std::max(0.0, sum2 / static_cast<double>(total) - mean * mean);
+      const double eps = 0.5 * std::sqrt(var) + 1e-12;
+      const std::size_t delta = std::max(a.size(), b.size()) / 10 + 1;
+      return lcss_distance(a, b, eps, delta);
+    }
+  }
+  throw std::logic_error("series_distance: bad kind");
+}
+
+Matrix pairwise_series_distance(const Matrix& series, SeriesDistance kind) {
+  const std::size_t n = series.rows();
+  const std::size_t len = series.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const double> a(series.data() + i * len, len);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::span<const double> b(series.data() + j * len, len);
+      const double d = series_distance(kind, a, b);
+      out(i, j) = out(j, i) = d;
+    }
+  }
+  return out;
+}
+
+}  // namespace rihgcn::ts

@@ -1,0 +1,54 @@
+// Time-series distance measures used to build the temporal graphs (§III-D):
+// Dynamic Time Warping (the paper's choice), plus Edit distance with Real
+// Penalty and Longest Common SubSequence, which the paper lists as
+// alternatives — implemented so the choice can be ablated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace rihgcn::ts {
+
+using rihgcn::Matrix;
+
+/// Dynamic Time Warping distance between two univariate series, |.| local
+/// cost. `band` is the Sakoe-Chiba band half-width; negative = unconstrained.
+/// Returns +inf when a band makes alignment infeasible.
+[[nodiscard]] double dtw(std::span<const double> a, std::span<const double> b,
+                         std::ptrdiff_t band = -1);
+
+/// DTW between multivariate series; rows are timesteps, columns dimensions,
+/// local cost is the Euclidean distance between row vectors.
+[[nodiscard]] double dtw_multivariate(const Matrix& a, const Matrix& b,
+                                      std::ptrdiff_t band = -1);
+
+/// Edit distance with Real Penalty (Chen & Ng 2004) with gap element g.
+/// A metric (satisfies triangle inequality), unlike DTW.
+[[nodiscard]] double erp(std::span<const double> a, std::span<const double> b,
+                         double gap = 0.0);
+
+/// Longest Common SubSequence similarity turned into a distance:
+///   1 - LCSS(a,b) / min(|a|,|b|),
+/// where elements match if |a_i - b_j| < eps and |i - j| <= delta.
+[[nodiscard]] double lcss_distance(std::span<const double> a,
+                                   std::span<const double> b, double eps,
+                                   std::size_t delta);
+
+/// Which distance the temporal-graph builder uses.
+enum class SeriesDistance { kDtw, kErp, kLcss };
+
+/// Dispatch on SeriesDistance for univariate series. For kLcss, eps is taken
+/// as 0.5 * stddev(a ∪ b) and delta as max(|a|,|b|)/10 + 1.
+[[nodiscard]] double series_distance(SeriesDistance kind,
+                                     std::span<const double> a,
+                                     std::span<const double> b);
+
+/// Pairwise distance matrix between the ROWS of `series` (each row is one
+/// node's series). Symmetric, zero diagonal.
+[[nodiscard]] Matrix pairwise_series_distance(const Matrix& series,
+                                              SeriesDistance kind =
+                                                  SeriesDistance::kDtw);
+
+}  // namespace rihgcn::ts

@@ -1,0 +1,292 @@
+#include "timeseries/partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "timeseries/distance.hpp"
+
+namespace rihgcn::ts {
+
+std::pair<std::size_t, std::size_t> Partition::slot_range(
+    std::size_t i) const {
+  const std::size_t slots = total_slots();
+  const std::size_t a = (boundaries.at(i) + rotation) % slots;
+  const std::size_t b = (boundaries.at(i + 1) + rotation) % slots;
+  return {a, b == 0 ? slots : b};
+}
+
+bool Partition::contains(std::size_t i, std::size_t s) const {
+  const auto [a, b] = slot_range(i);
+  if (a < b) return s >= a && s < b;
+  // Wrapping interval [a, slots) ∪ [0, b).
+  return s >= a || s < b;
+}
+
+std::size_t Partition::interval_of(std::size_t s) const {
+  if (s >= total_slots()) {
+    throw std::out_of_range("Partition::interval_of: slot outside partition");
+  }
+  for (std::size_t i = 0; i < num_intervals(); ++i) {
+    if (contains(i, s)) return i;
+  }
+  throw std::logic_error("Partition::interval_of: no interval contains slot");
+}
+
+Partition Partition::equal_split(std::size_t slots, std::size_t m) {
+  if (m == 0 || m > slots) {
+    throw std::invalid_argument("equal_split: need 1 <= m <= slots");
+  }
+  Partition p;
+  p.boundaries.resize(m + 1);
+  for (std::size_t i = 0; i <= m; ++i) {
+    p.boundaries[i] = i * slots / m;
+  }
+  return p;
+}
+
+bool Partition::valid(std::size_t slots) const {
+  if (boundaries.size() < 2) return false;
+  if (boundaries.front() != 0 || boundaries.back() != slots) return false;
+  if (rotation >= slots) return false;
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    if (boundaries[i] >= boundaries[i + 1]) return false;
+  }
+  return true;
+}
+
+TimelinePartitioner::TimelinePartitioner(Matrix day_profile,
+                                         PartitionConstraints constraints)
+    : day_profile_(std::move(day_profile)), constraints_(constraints) {
+  if (day_profile_.rows() == 0 || day_profile_.cols() == 0) {
+    throw std::invalid_argument("TimelinePartitioner: empty profile");
+  }
+  if (constraints_.min_len == 0) constraints_.min_len = 1;
+  if (constraints_.max_len == 0 || constraints_.max_len > day_profile_.rows()) {
+    constraints_.max_len = day_profile_.rows();
+  }
+}
+
+Matrix TimelinePartitioner::wrapped_rows(std::size_t start,
+                                         std::size_t len) const {
+  const std::size_t slots_total = slots();
+  if (start + len <= slots_total) {
+    return day_profile_.slice_rows(start, start + len);
+  }
+  const Matrix head = day_profile_.slice_rows(start, slots_total);
+  const Matrix tail = day_profile_.slice_rows(0, start + len - slots_total);
+  return vcat(head, tail);
+}
+
+double TimelinePartitioner::interval_distance_rotated(
+    std::size_t a0, std::size_t a1, std::size_t b0, std::size_t b1,
+    std::size_t rotation) const {
+  const std::size_t slots_total = slots();
+  const std::size_t ra = (a0 + rotation) % slots_total;
+  const std::size_t rb = (b0 + rotation) % slots_total;
+  const std::array<std::size_t, 4> key{ra, a1 - a0, rb, b1 - b0};
+  auto it = distance_cache_.find(key);
+  if (it != distance_cache_.end()) return it->second;
+  const Matrix sa = wrapped_rows(ra, a1 - a0);
+  const Matrix sb = wrapped_rows(rb, b1 - b0);
+  const double d = dtw_multivariate(sa, sb);
+  distance_cache_.emplace(key, d);
+  return d;
+}
+
+double TimelinePartitioner::interval_distance(std::size_t a0, std::size_t a1,
+                                              std::size_t b0,
+                                              std::size_t b1) const {
+  return interval_distance_rotated(a0, a1, b0, b1, 0);
+}
+
+double TimelinePartitioner::objective(const Partition& p) const {
+  double total = 0.0;
+  const std::size_t m = p.num_intervals();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      total += interval_distance_rotated(p.boundaries[i], p.boundaries[i + 1],
+                                         p.boundaries[j], p.boundaries[j + 1],
+                                         p.rotation);
+    }
+  }
+  return total;
+}
+
+bool TimelinePartitioner::lengths_ok(const Partition& p) const {
+  for (std::size_t i = 0; i < p.num_intervals(); ++i) {
+    const std::size_t len = p.length(i);
+    if (len < constraints_.min_len || len > constraints_.max_len) return false;
+  }
+  return true;
+}
+
+bool TimelinePartitioner::satisfies(const Partition& p) const {
+  if (!p.valid(slots())) return false;
+  if (!lengths_ok(p)) return false;
+  const std::size_t m = p.num_intervals();
+  if (m <= 1) return true;  // ratio constraints are vacuous for one interval
+  // γ: longest interval must cover < gamma of the timeline.
+  std::size_t longest = 0;
+  for (std::size_t i = 0; i < m; ++i) longest = std::max(longest, p.length(i));
+  if (static_cast<double>(longest) >=
+      constraints_.gamma * static_cast<double>(slots())) {
+    return false;
+  }
+  // η: min pairwise distance / sum of pairwise distances <= eta, i.e. no
+  // partition where every pair is equally (un)informative is preferred; the
+  // paper states the ratio must be <= η (10%).
+  double min_d = std::numeric_limits<double>::infinity();
+  double sum_d = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double d = interval_distance_rotated(
+          p.boundaries[i], p.boundaries[i + 1], p.boundaries[j],
+          p.boundaries[j + 1], p.rotation);
+      min_d = std::min(min_d, d);
+      sum_d += d;
+    }
+  }
+  if (sum_d <= 0.0) return false;
+  return min_d / sum_d <= constraints_.eta + 1e-12;
+}
+
+void TimelinePartitioner::enumerate(std::size_t m, std::size_t rotation,
+                                    std::vector<std::size_t>& current,
+                                    Partition& best, double& best_obj,
+                                    std::size_t& evals,
+                                    std::size_t eval_cap) const {
+  if (evals >= eval_cap) return;
+  const std::size_t placed = current.size() - 1;  // boundaries placed so far
+  const std::size_t last = current.back();
+  if (placed == m - 1) {
+    // Close with the final boundary at `slots`.
+    const std::size_t len = slots() - last;
+    if (len < constraints_.min_len || len > constraints_.max_len) return;
+    Partition p;
+    p.boundaries = current;
+    p.boundaries.push_back(slots());
+    p.rotation = rotation;
+    ++evals;
+    if (!satisfies(p)) return;
+    const double obj = objective(p);
+    if (obj > best_obj) {
+      best_obj = obj;
+      best = p;
+    }
+    return;
+  }
+  const std::size_t remaining = m - placed;  // intervals still to create
+  for (std::size_t next = last + constraints_.min_len;
+       next + (remaining - 1) * constraints_.min_len <= slots(); ++next) {
+    if (next - last > constraints_.max_len) break;
+    current.push_back(next);
+    enumerate(m, rotation, current, best, best_obj, evals, eval_cap);
+    current.pop_back();
+    if (evals >= eval_cap) return;
+  }
+}
+
+Partition TimelinePartitioner::local_search(std::size_t m,
+                                            std::size_t rotation,
+                                            Rng& rng) const {
+  Partition best = Partition::equal_split(slots(), m);
+  best.rotation = rotation;
+  double best_obj = satisfies(best) ? objective(best) : -1.0;
+  const std::size_t restarts = 8;
+  const std::size_t iters = 200;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    Partition p = Partition::equal_split(slots(), m);
+    p.rotation = rotation;
+    // Random perturbation of internal boundaries for this restart.
+    for (std::size_t i = 1; i < m; ++i) {
+      const std::ptrdiff_t jitter =
+          static_cast<std::ptrdiff_t>(rng.uniform_index(3)) - 1;
+      const std::ptrdiff_t moved =
+          static_cast<std::ptrdiff_t>(p.boundaries[i]) + jitter;
+      if (moved > static_cast<std::ptrdiff_t>(p.boundaries[i - 1]) &&
+          moved < static_cast<std::ptrdiff_t>(p.boundaries[i + 1])) {
+        p.boundaries[i] = static_cast<std::size_t>(moved);
+      }
+    }
+    double obj = satisfies(p) ? objective(p) : -1.0;
+    for (std::size_t it = 0; it < iters; ++it) {
+      bool improved = false;
+      for (std::size_t i = 1; i < m; ++i) {
+        for (const std::ptrdiff_t delta : {-1, +1}) {
+          const std::ptrdiff_t nb =
+              static_cast<std::ptrdiff_t>(p.boundaries[i]) + delta;
+          if (nb <= static_cast<std::ptrdiff_t>(p.boundaries[i - 1]) ||
+              nb >= static_cast<std::ptrdiff_t>(p.boundaries[i + 1])) {
+            continue;
+          }
+          Partition q = p;
+          q.boundaries[i] = static_cast<std::size_t>(nb);
+          if (!satisfies(q)) continue;
+          const double qobj = objective(q);
+          if (qobj > obj) {
+            p = q;
+            obj = qobj;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+    if (obj > best_obj) {
+      best_obj = obj;
+      best = p;
+    }
+  }
+  return best;
+}
+
+Partition TimelinePartitioner::search(std::size_t m, std::size_t rotation,
+                                      Rng& rng) const {
+  Partition best = Partition::equal_split(slots(), m);
+  best.rotation = rotation;
+  double best_obj = -1.0;
+  std::vector<std::size_t> current{0};
+  std::size_t evals = 0;
+  const std::size_t eval_cap = 50000;
+  enumerate(m, rotation, current, best, best_obj, evals, eval_cap);
+  if (best_obj >= 0.0 && evals < eval_cap) return best;
+  // Search space too large (or nothing satisfied constraints): local search.
+  Partition ls = local_search(m, rotation, rng);
+  if (best_obj < 0.0) return ls;
+  return objective(ls) > best_obj ? ls : best;
+}
+
+Partition TimelinePartitioner::partition(std::size_t m, Rng& rng) const {
+  if (m == 0) throw std::invalid_argument("partition: m must be >= 1");
+  if (m > slots()) {
+    throw std::invalid_argument("partition: more intervals than slots");
+  }
+  if (m == 1) {
+    Partition p;
+    p.boundaries = {0, slots()};
+    return p;
+  }
+  return search(m, /*rotation=*/0, rng);
+}
+
+Partition TimelinePartitioner::partition_circular(std::size_t m, Rng& rng,
+                                                  std::size_t rotation_step) const {
+  if (rotation_step == 0) rotation_step = 1;
+  if (m <= 1) return partition(m, rng);
+  Partition best = partition(m, rng);  // rotation 0 is always a candidate
+  double best_obj = objective(best);
+  for (std::size_t rot = rotation_step; rot < slots(); rot += rotation_step) {
+    const Partition candidate = search(m, rot, rng);
+    if (!satisfies(candidate)) continue;
+    const double obj = objective(candidate);
+    if (obj > best_obj) {
+      best_obj = obj;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace rihgcn::ts

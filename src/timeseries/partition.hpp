@@ -1,0 +1,137 @@
+// Timeline partitioning (paper §III-D, Eq. 2): split the daily cycle into M
+// contiguous intervals so that the summed pairwise DTW distance between the
+// intervals' historical profiles is maximized, subject to the paper's four
+// constraints (minimum/maximum interval length, minimum-distance ratio η,
+// longest-interval ratio γ).
+//
+// The search works on a per-slot "day profile" (rows = time-of-day slots,
+// columns = nodes); the paper searches at 1-hour granularity, so callers
+// typically pass a 24 x N hourly profile. Interval-pair DTW distances are
+// memoized; exhaustive enumeration is used when the candidate count is small
+// and seeded stochastic local search otherwise, so the result is
+// deterministic for a given seed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace rihgcn::ts {
+
+/// A partition of [0, slots) into contiguous intervals, optionally CIRCULAR:
+/// the paper's future-work idea of forming the timeline into a circle so the
+/// first interval need not start at midnight. A circular partition is stored
+/// as a rotation offset plus ordinary boundaries over the rotated timeline;
+/// interval i covers slots [(boundaries[i]+rotation) mod slots,
+/// (boundaries[i+1]+rotation) mod slots).
+struct Partition {
+  /// M+1 ascending boundaries; boundaries.front()==0, boundaries.back()==slots.
+  std::vector<std::size_t> boundaries;
+  /// Circular rotation of the whole partition (0 = paper's original setup).
+  std::size_t rotation = 0;
+
+  [[nodiscard]] std::size_t num_intervals() const {
+    return boundaries.empty() ? 0 : boundaries.size() - 1;
+  }
+  /// Interval i in the ROTATED (internal) coordinate system.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> interval(
+      std::size_t i) const {
+    return {boundaries.at(i), boundaries.at(i + 1)};
+  }
+  /// Interval i in REAL slot coordinates: (start, end) where end <= start
+  /// means the interval wraps past the end of the day (circular partitions
+  /// only; rotation == 0 never wraps).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> slot_range(
+      std::size_t i) const;
+  [[nodiscard]] std::size_t length(std::size_t i) const {
+    return boundaries.at(i + 1) - boundaries.at(i);
+  }
+  /// True if real slot s lies inside interval i (wrap-aware).
+  [[nodiscard]] bool contains(std::size_t i, std::size_t s) const;
+  /// Index of the interval containing real slot s (s must be < slots).
+  [[nodiscard]] std::size_t interval_of(std::size_t s) const;
+  /// Equal-length split (remainder spread over the first intervals).
+  [[nodiscard]] static Partition equal_split(std::size_t slots, std::size_t m);
+  [[nodiscard]] bool valid(std::size_t slots) const;
+  [[nodiscard]] std::size_t total_slots() const {
+    return boundaries.empty() ? 0 : boundaries.back();
+  }
+};
+
+/// Constraints from the paper, in slot units. With a 24-slot hourly grid and
+/// M = 4 the paper's values are min_len = 1 (1 h), max_len = 12 (Q=2 ⇒ QT/M),
+/// eta = 0.10, gamma = 0.5.
+struct PartitionConstraints {
+  std::size_t min_len = 1;
+  std::size_t max_len = 12;
+  /// Accept only if min pairwise distance / sum of pairwise distances <= eta.
+  double eta = 0.10;
+  /// Longest interval / total slots must be < gamma.
+  double gamma = 0.5;
+};
+
+class TimelinePartitioner {
+ public:
+  /// day_profile: slots x N (one column per node; one row per time-of-day
+  /// slot — the historical average at that slot).
+  explicit TimelinePartitioner(Matrix day_profile,
+                               PartitionConstraints constraints = {});
+
+  /// Σ_{i<j} DTW(H_i, H_j) over the partition's intervals.
+  [[nodiscard]] double objective(const Partition& p) const;
+  /// All four paper constraints. Length constraints always apply; the η and
+  /// γ ratio constraints only bind for m > 1 (a single interval trivially
+  /// spans the whole day).
+  [[nodiscard]] bool satisfies(const Partition& p) const;
+
+  /// Best partition into m intervals found by exhaustive search (small
+  /// search spaces) or seeded multi-restart local search.
+  [[nodiscard]] Partition partition(std::size_t m, Rng& rng) const;
+
+  /// Circular variant (the paper's future-work extension): additionally
+  /// searches over rotations of the daily cycle so the first interval need
+  /// not start at midnight. `rotation_step` controls the rotation grid
+  /// (default: 1 coarse slot). Never worse than partition() in objective.
+  [[nodiscard]] Partition partition_circular(std::size_t m, Rng& rng,
+                                             std::size_t rotation_step = 1) const;
+
+  [[nodiscard]] std::size_t slots() const noexcept {
+    return day_profile_.rows();
+  }
+  [[nodiscard]] const PartitionConstraints& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// DTW distance between two slot-intervals of the profile (memoized).
+  [[nodiscard]] double interval_distance(std::size_t a0, std::size_t a1,
+                                         std::size_t b0, std::size_t b1) const;
+
+ private:
+  [[nodiscard]] bool lengths_ok(const Partition& p) const;
+  void enumerate(std::size_t m, std::size_t rotation,
+                 std::vector<std::size_t>& current, Partition& best,
+                 double& best_obj, std::size_t& evals,
+                 std::size_t eval_cap) const;
+  [[nodiscard]] Partition local_search(std::size_t m, std::size_t rotation,
+                                       Rng& rng) const;
+  [[nodiscard]] Partition search(std::size_t m, std::size_t rotation,
+                                 Rng& rng) const;
+  /// Rows [start, start+len) of the profile, wrapping past the last slot.
+  [[nodiscard]] Matrix wrapped_rows(std::size_t start, std::size_t len) const;
+  [[nodiscard]] double interval_distance_rotated(std::size_t a0,
+                                                 std::size_t a1,
+                                                 std::size_t b0,
+                                                 std::size_t b1,
+                                                 std::size_t rotation) const;
+
+  Matrix day_profile_;
+  PartitionConstraints constraints_;
+  mutable std::map<std::array<std::size_t, 4>, double> distance_cache_;
+};
+
+}  // namespace rihgcn::ts

@@ -1,0 +1,84 @@
+#include "tensor/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.hpp"
+
+namespace rihgcn {
+namespace {
+
+TEST(SolveLinear, SolvesKnownSystem) {
+  Matrix a{{2, 0}, {0, 4}};
+  Matrix b{{2}, {8}};
+  Matrix x = solve_linear(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  Matrix b{{3}, {5}};
+  Matrix x = solve_linear(a, b);
+  EXPECT_NEAR(x(0, 0), 5.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(SolveLinear, MultipleRightHandSides) {
+  Matrix a{{3, 1}, {1, 2}};
+  Matrix b{{9, 4}, {8, 3}};
+  Matrix x = solve_linear(a, b);
+  EXPECT_TRUE(allclose(matmul(a, x), b, 1e-10));
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  Matrix b{{1}, {2}};
+  EXPECT_THROW(solve_linear(a, b), std::runtime_error);
+}
+
+TEST(SolveLinear, ShapeMismatchThrows) {
+  EXPECT_THROW(solve_linear(Matrix(2, 3), Matrix(2, 1)), ShapeError);
+  EXPECT_THROW(solve_linear(Matrix(2, 2), Matrix(3, 1)), ShapeError);
+}
+
+class SolveRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveRandomTest, ResidualIsTiny) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(100 + static_cast<std::uint64_t>(n));
+  // Diagonally dominant => well-conditioned.
+  Matrix a = rng.normal_matrix(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 5.0 * static_cast<double>(n);
+  Matrix b = rng.normal_matrix(n, 2, 1.0);
+  Matrix x = solve_linear(a, b);
+  EXPECT_LT(max_abs_diff(matmul(a, x), b), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(RidgeLeastSquares, RecoversExactSolutionWhenConsistent) {
+  Rng rng(7);
+  Matrix a = rng.normal_matrix(30, 4, 1.0);
+  Matrix x_true = rng.normal_matrix(4, 1, 1.0);
+  Matrix b = matmul(a, x_true);
+  Matrix x = ridge_least_squares(a, b, 1e-10);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-5);
+}
+
+TEST(RidgeLeastSquares, RidgeShrinksSolution) {
+  Rng rng(8);
+  Matrix a = rng.normal_matrix(20, 3, 1.0);
+  Matrix b = rng.normal_matrix(20, 1, 1.0);
+  const Matrix x_small = ridge_least_squares(a, b, 1e-8);
+  const Matrix x_big = ridge_least_squares(a, b, 1e3);
+  EXPECT_LT(x_big.norm(), x_small.norm());
+}
+
+TEST(RidgeLeastSquares, RowMismatchThrows) {
+  EXPECT_THROW(ridge_least_squares(Matrix(3, 2), Matrix(4, 1)), ShapeError);
+}
+
+}  // namespace
+}  // namespace rihgcn

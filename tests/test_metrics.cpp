@@ -1,0 +1,110 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rihgcn::metrics {
+namespace {
+
+TEST(ErrorAccumulator, MaeRmseKnownValues) {
+  ErrorAccumulator acc;
+  const Matrix pred{{1.0, 2.0}};
+  const Matrix truth{{0.0, 4.0}};
+  acc.add(pred, truth);
+  EXPECT_DOUBLE_EQ(acc.mae(), 1.5);                 // (1 + 2) / 2
+  EXPECT_DOUBLE_EQ(acc.rmse(), std::sqrt(2.5));     // sqrt((1 + 4)/2)
+  EXPECT_DOUBLE_EQ(acc.count(), 2.0);
+}
+
+TEST(ErrorAccumulator, RespectsWeights) {
+  ErrorAccumulator acc;
+  const Matrix pred{{1.0, 100.0}};
+  const Matrix truth{{0.0, 0.0}};
+  const Matrix w{{1.0, 0.0}};  // the huge error is masked out
+  acc.add(pred, truth, w);
+  EXPECT_DOUBLE_EQ(acc.mae(), 1.0);
+}
+
+TEST(ErrorAccumulator, AddScalarAndMerge) {
+  ErrorAccumulator a, b;
+  a.add_scalar(2.0, 0.0);
+  b.add_scalar(0.0, 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mae(), 3.0);
+  EXPECT_DOUBLE_EQ(a.count(), 2.0);
+  a.add_scalar(1.0, 1.0, 0.0);  // zero weight ignored
+  EXPECT_DOUBLE_EQ(a.count(), 2.0);
+}
+
+TEST(ErrorAccumulator, EmptyThrowsAndReset) {
+  ErrorAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_THROW((void)acc.mae(), std::logic_error);
+  EXPECT_THROW((void)acc.rmse(), std::logic_error);
+  acc.add_scalar(1.0, 0.0);
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+}
+
+TEST(ErrorAccumulator, ShapeMismatchThrows) {
+  ErrorAccumulator acc;
+  EXPECT_THROW(acc.add(Matrix(2, 2), Matrix(2, 3), Matrix(2, 2)), ShapeError);
+}
+
+TEST(MaskedHelpers, OneShotValues) {
+  const Matrix pred{{3.0}};
+  const Matrix truth{{1.0}};
+  const Matrix w{{1.0}};
+  EXPECT_DOUBLE_EQ(masked_mae(pred, truth, w), 2.0);
+  EXPECT_DOUBLE_EQ(masked_rmse(pred, truth, w), 2.0);
+  const Matrix none{{0.0}};
+  EXPECT_DOUBLE_EQ(masked_mae(pred, truth, none), 0.0);
+}
+
+TEST(ResultTable, StoresAndFormats) {
+  ResultTable table("Table X", {"20%", "40%"});
+  table.set("HA", 0, 2.25, 4.23);
+  table.set("RIHGCN", 0, 2.08, 3.66);
+  table.set("RIHGCN", 1, 2.17, 3.73);
+  const auto [mae, rmse] = table.cell("RIHGCN", 1);
+  EXPECT_DOUBLE_EQ(mae, 2.17);
+  EXPECT_DOUBLE_EQ(rmse, 3.73);
+  const std::string s = table.to_string();
+  EXPECT_NE(s.find("Table X"), std::string::npos);
+  EXPECT_NE(s.find("RIHGCN"), std::string::npos);
+  EXPECT_NE(s.find("2.0800"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);  // HA's missing cell
+}
+
+TEST(ResultTable, CsvOutput) {
+  ResultTable table("t", {"a", "b"});
+  table.set("m", 1, 1.5, 2.5);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("method,group,mae,rmse"), std::string::npos);
+  EXPECT_NE(csv.find("m,b,1.5,2.5"), std::string::npos);
+}
+
+TEST(ResultTable, Errors) {
+  EXPECT_THROW(ResultTable("t", {}), std::invalid_argument);
+  ResultTable table("t", {"a"});
+  EXPECT_THROW(table.set("m", 3, 1, 1), std::out_of_range);
+  EXPECT_THROW((void)table.cell("nope", 0), std::logic_error);
+  table.set("m", 0, 1, 1);
+  ResultTable t2("t", {"a", "b"});
+  t2.set("m", 0, 1, 1);
+  EXPECT_THROW((void)t2.cell("m", 1), std::logic_error);  // empty cell
+}
+
+TEST(ResultTable, MethodOrderPreserved) {
+  ResultTable table("t", {"g"});
+  table.set("second", 0, 1, 1);
+  table.set("first", 0, 1, 1);
+  table.set("second", 0, 2, 2);  // update, not duplicate
+  ASSERT_EQ(table.methods().size(), 2u);
+  EXPECT_EQ(table.methods()[0], "second");
+  EXPECT_EQ(table.methods()[1], "first");
+}
+
+}  // namespace
+}  // namespace rihgcn::metrics
