@@ -13,6 +13,7 @@
 #include "graph/graph.hpp"
 #include "nn/optim.hpp"
 #include "tensor/linalg.hpp"
+#include "tensor/parallel.hpp"
 #include "timeseries/distance.hpp"
 
 namespace {
@@ -31,6 +32,79 @@ void BM_Matmul(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+// ---- Parallel backend throughput -------------------------------------------
+//
+// Run with --benchmark_format=json to get machine-readable items_per_second
+// (= multiply-accumulates/s). BM_MatmulSeedSerial is the pre-parallel-backend
+// i-k-j kernel, kept as detail::matmul_naive; BM_MatmulParallel/256/T is the
+// blocked kernel on a T-thread pool (T=0 means RIHGCN_THREADS or the
+// hardware concurrency). The acceptance target is parallel/256/4 at >= 2x
+// seed-serial items_per_second.
+
+void BM_MatmulSeedSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = rng.normal_matrix(n, n, 1.0);
+  const Matrix b = rng.normal_matrix(n, n, 1.0);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    out.fill(0.0);
+    detail::matmul_naive(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatmulSeedSerial)->Arg(256);
+
+void BM_MatmulParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  ThreadPool::set_global_threads(threads);  // 0 = env / hardware default
+  Rng rng(1);
+  const Matrix a = rng.normal_matrix(n, n, 1.0);
+  const Matrix b = rng.normal_matrix(n, n, 1.0);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    out.fill(0.0);
+    matmul_accumulate(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+  ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_MatmulParallel)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 0})
+    ->UseRealTime();
+
+// Chebyshev GCN forward+backward on a larger graph, across pool sizes — the
+// model-level view of the parallel backend (matmuls dominate).
+void BM_ChebGcnThreaded(benchmark::State& state) {
+  const std::size_t n = 128;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  Rng rng(6);
+  nn::ChebGcnLayer gcn(32, 32, 3, rng);
+  Matrix lap = rng.normal_matrix(n, n, 0.2);
+  lap = (lap + lap.transposed()) * 0.5;
+  const Matrix x = rng.normal_matrix(n, 32, 1.0);
+  for (auto _ : state) {
+    for (ad::Parameter* p : gcn.parameters()) p->zero_grad();
+    ad::Tape tape;
+    ad::Var y = gcn.forward(tape, tape.constant(x), lap);
+    tape.backward(tape.mean_all(y));
+    benchmark::DoNotOptimize(y);
+  }
+  ThreadPool::set_global_threads(0);
+}
+BENCHMARK(BM_ChebGcnThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(0)->UseRealTime();
 
 void BM_Dtw(benchmark::State& state) {
   const auto len = static_cast<std::size_t>(state.range(0));

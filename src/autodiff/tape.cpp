@@ -4,7 +4,50 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/parallel.hpp"
+
 namespace rihgcn::ad {
+
+namespace {
+
+// Parallel dispatch for the tape's hand-rolled elementwise loops (op values
+// and backward gradient accumulation). Every element/row is written by
+// exactly one chunk and chunk boundaries are fixed by size alone, so the
+// sweep stays bit-for-bit deterministic for any thread count. Reduction
+// loops (loss sums, softmax row dots within a row) stay serial.
+template <typename Body>
+void par_elems(std::size_t n, Body&& body) {
+  if (n < ParallelTuning::min_elems) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() <= 1) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  pool.parallel_for(0, n, ParallelTuning::elem_grain,
+                    ThreadPool::RangeBody(std::forward<Body>(body)));
+}
+
+template <typename Body>
+void par_rows(std::size_t rows, std::size_t cols, Body&& body) {
+  if (rows * cols < ParallelTuning::min_elems) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() <= 1) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  const std::size_t grain = std::max<std::size_t>(
+      1, ParallelTuning::elem_grain / std::max<std::size_t>(1, cols));
+  pool.parallel_for(0, rows, grain,
+                    ThreadPool::RangeBody(std::forward<Body>(body)));
+}
+
+}  // namespace
 
 const Matrix& Var::value() const {
   if (!tape) throw std::logic_error("Var::value on null tape");
@@ -183,9 +226,11 @@ Var Tape::mul_col_broadcast(Var a, Var col) {
   const std::size_t ia = a.index, ic = col.index;
   const bool rg = nodes_[ia].requires_grad || nodes_[ic].requires_grad;
   Matrix v = x;
-  for (std::size_t r = 0; r < v.rows(); ++r) {
-    for (std::size_t cc = 0; cc < v.cols(); ++cc) v(r, cc) *= c(r, 0);
-  }
+  par_rows(v.rows(), v.cols(), [&v, &c](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t cc = 0; cc < v.cols(); ++cc) v(r, cc) *= c(r, 0);
+    }
+  });
   Var out = push(std::move(v), rg, nullptr);
   const std::size_t io = out.index;
   nodes_[io].backward = [ia, ic, io](Tape& t) {
@@ -194,21 +239,27 @@ Var Tape::mul_col_broadcast(Var a, Var col) {
     const Matrix& c2 = t.node(ic).value;
     if (t.node(ia).requires_grad) {
       Matrix& ga = t.grad_ref(ia);
-      for (std::size_t r = 0; r < g.rows(); ++r) {
-        for (std::size_t cc = 0; cc < g.cols(); ++cc) {
-          ga(r, cc) += g(r, cc) * c2(r, 0);
+      par_rows(g.rows(), g.cols(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          for (std::size_t cc = 0; cc < g.cols(); ++cc) {
+            ga(r, cc) += g(r, cc) * c2(r, 0);
+          }
         }
-      }
+      });
     }
     if (t.node(ic).requires_grad) {
       Matrix& gc = t.grad_ref(ic);
-      for (std::size_t r = 0; r < g.rows(); ++r) {
-        double s = 0.0;
-        for (std::size_t cc = 0; cc < g.cols(); ++cc) {
-          s += g(r, cc) * x2(r, cc);
+      // Each output row reduces its own columns serially (ascending cc), so
+      // the per-row sum is order-stable regardless of the row partition.
+      par_rows(g.rows(), g.cols(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          double s = 0.0;
+          for (std::size_t cc = 0; cc < g.cols(); ++cc) {
+            s += g(r, cc) * x2(r, cc);
+          }
+          gc(r, 0) += s;
         }
-        gc(r, 0) += s;
-      }
+      });
     }
   };
   return out;
@@ -250,9 +301,14 @@ Var Tape::sigmoid(Var a) {
     const Matrix& y = t.node(io).value;
     const Matrix& g = t.grad_ref(io);
     Matrix& ga = t.grad_ref(ia);
-    for (std::size_t i = 0; i < y.size(); ++i) {
-      ga.data()[i] += g.data()[i] * y.data()[i] * (1.0 - y.data()[i]);
-    }
+    const double* yp = y.data();
+    const double* gp = g.data();
+    double* gap = ga.data();
+    par_elems(y.size(), [yp, gp, gap](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        gap[i] += gp[i] * yp[i] * (1.0 - yp[i]);
+      }
+    });
   };
   return out;
 }
@@ -268,9 +324,14 @@ Var Tape::tanh(Var a) {
     const Matrix& y = t.node(io).value;
     const Matrix& g = t.grad_ref(io);
     Matrix& ga = t.grad_ref(ia);
-    for (std::size_t i = 0; i < y.size(); ++i) {
-      ga.data()[i] += g.data()[i] * (1.0 - y.data()[i] * y.data()[i]);
-    }
+    const double* yp = y.data();
+    const double* gp = g.data();
+    double* gap = ga.data();
+    par_elems(y.size(), [yp, gp, gap](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        gap[i] += gp[i] * (1.0 - yp[i] * yp[i]);
+      }
+    });
   };
   return out;
 }
@@ -286,9 +347,14 @@ Var Tape::relu(Var a) {
     const Matrix& x = t.node(ia).value;
     const Matrix& g = t.grad_ref(io);
     Matrix& ga = t.grad_ref(ia);
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      if (x.data()[i] > 0.0) ga.data()[i] += g.data()[i];
-    }
+    const double* xp = x.data();
+    const double* gp = g.data();
+    double* gap = ga.data();
+    par_elems(x.size(), [xp, gp, gap](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        if (xp[i] > 0.0) gap[i] += gp[i];
+      }
+    });
   };
   return out;
 }
@@ -298,16 +364,20 @@ Var Tape::softmax_rows(Var a) {
   const std::size_t ia = a.index;
   const Matrix& x = value(a);
   Matrix y(x.rows(), x.cols());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    double mx = -1e300;
-    for (std::size_t c = 0; c < x.cols(); ++c) mx = std::max(mx, x(r, c));
-    double denom = 0.0;
-    for (std::size_t c = 0; c < x.cols(); ++c) {
-      y(r, c) = std::exp(x(r, c) - mx);
-      denom += y(r, c);
+  // Row-parallel: each row's max/denom reduction stays serial within one
+  // chunk, so the result is identical for any thread count.
+  par_rows(x.rows(), x.cols(), [&x, &y](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      double mx = -1e300;
+      for (std::size_t c = 0; c < x.cols(); ++c) mx = std::max(mx, x(r, c));
+      double denom = 0.0;
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        y(r, c) = std::exp(x(r, c) - mx);
+        denom += y(r, c);
+      }
+      for (std::size_t c = 0; c < x.cols(); ++c) y(r, c) /= denom;
     }
-    for (std::size_t c = 0; c < x.cols(); ++c) y(r, c) /= denom;
-  }
+  });
   Var out = push(std::move(y), nodes_[ia].requires_grad, nullptr);
   const std::size_t io = out.index;
   nodes_[io].backward = [ia, io](Tape& t) {
@@ -316,13 +386,15 @@ Var Tape::softmax_rows(Var a) {
     const Matrix& g = t.grad_ref(io);
     Matrix& ga = t.grad_ref(ia);
     // Per row: dx = y ⊙ (g - <g, y>)
-    for (std::size_t r = 0; r < y2.rows(); ++r) {
-      double dot = 0.0;
-      for (std::size_t c = 0; c < y2.cols(); ++c) dot += g(r, c) * y2(r, c);
-      for (std::size_t c = 0; c < y2.cols(); ++c) {
-        ga(r, c) += y2(r, c) * (g(r, c) - dot);
+    par_rows(y2.rows(), y2.cols(), [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t r = r0; r < r1; ++r) {
+        double dot = 0.0;
+        for (std::size_t c = 0; c < y2.cols(); ++c) dot += g(r, c) * y2(r, c);
+        for (std::size_t c = 0; c < y2.cols(); ++c) {
+          ga(r, c) += y2(r, c) * (g(r, c) - dot);
+        }
       }
-    }
+    });
   };
   return out;
 }
@@ -397,7 +469,10 @@ Var Tape::mean_all(Var a) {
     if (!t.node(ia).requires_grad) return;
     const double g = t.grad_ref(io)(0, 0) / n;
     Matrix& ga = t.grad_ref(ia);
-    for (std::size_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+    double* gap = ga.data();
+    par_elems(ga.size(), [gap, g](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) gap[i] += g;
+    });
   };
   return out;
 }
@@ -413,7 +488,10 @@ Var Tape::sum_all(Var a) {
     if (!t.node(ia).requires_grad) return;
     const double g = t.grad_ref(io)(0, 0);
     Matrix& ga = t.grad_ref(ia);
-    for (std::size_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+    double* gap = ga.data();
+    par_elems(ga.size(), [gap, g](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) gap[i] += g;
+    });
   };
   return out;
 }
@@ -441,12 +519,18 @@ Var Tape::masked_mae(Var a, const Matrix& target, const Matrix& w) {
     const double g = t.grad_ref(io)(0, 0) / count;
     const Matrix& x2 = t.node(ia).value;
     Matrix& ga = t.grad_ref(ia);
-    for (std::size_t i = 0; i < x2.size(); ++i) {
-      const double d = x2.data()[i] - tgt.data()[i];
-      // Subgradient 0 at d == 0.
-      const double sgn = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
-      ga.data()[i] += g * wt.data()[i] * sgn;
-    }
+    const double* xp = x2.data();
+    const double* tp = tgt.data();
+    const double* wp = wt.data();
+    double* gap = ga.data();
+    par_elems(x2.size(), [=](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double d = xp[i] - tp[i];
+        // Subgradient 0 at d == 0.
+        const double sgn = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
+        gap[i] += g * wp[i] * sgn;
+      }
+    });
   };
   return out;
 }
@@ -475,9 +559,15 @@ Var Tape::masked_mse(Var a, const Matrix& target, const Matrix& w) {
     const double g = t.grad_ref(io)(0, 0) / count;
     const Matrix& x2 = t.node(ia).value;
     Matrix& ga = t.grad_ref(ia);
-    for (std::size_t i = 0; i < x2.size(); ++i) {
-      ga.data()[i] += g * wt.data()[i] * 2.0 * (x2.data()[i] - tgt.data()[i]);
-    }
+    const double* xp = x2.data();
+    const double* tp = tgt.data();
+    const double* wp = wt.data();
+    double* gap = ga.data();
+    par_elems(x2.size(), [=](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        gap[i] += g * wp[i] * 2.0 * (xp[i] - tp[i]);
+      }
+    });
   };
   return out;
 }
@@ -511,13 +601,20 @@ Var Tape::weighted_l1_between(Var a, Var b, const Matrix& w) {
     if (!need_a && !need_b) return;
     Matrix* ga = need_a ? &t.grad_ref(ia) : nullptr;
     Matrix* gb = need_b ? &t.grad_ref(ib) : nullptr;
-    for (std::size_t i = 0; i < x2.size(); ++i) {
-      const double d = x2.data()[i] - y2.data()[i];
-      const double sgn = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
-      const double gi = g * wt.data()[i] * sgn;
-      if (ga) ga->data()[i] += gi;
-      if (gb) gb->data()[i] -= gi;
-    }
+    const double* xp = x2.data();
+    const double* yp = y2.data();
+    const double* wp = wt.data();
+    double* gap = ga ? ga->data() : nullptr;
+    double* gbp = gb ? gb->data() : nullptr;
+    par_elems(x2.size(), [=](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double d = xp[i] - yp[i];
+        const double sgn = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
+        const double gi = g * wp[i] * sgn;
+        if (gap) gap[i] += gi;
+        if (gbp) gbp[i] -= gi;
+      }
+    });
   };
   return out;
 }

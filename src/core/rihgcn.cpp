@@ -22,13 +22,28 @@ HgcnBlock::HgcnBlock(const HeterogeneousGraphs& graphs, std::size_t in_dim,
   }
 }
 
+HgcnBlock::LapVars HgcnBlock::make_lap_vars(Tape& tape) const {
+  LapVars laps;
+  laps.geo = tape.constant(graphs_.geographic().scaled_laplacian());
+  laps.temporal.reserve(graphs_.num_temporal());
+  for (std::size_t m = 0; m < graphs_.num_temporal(); ++m) {
+    laps.temporal.push_back(
+        tape.constant(graphs_.temporal(m).scaled_laplacian()));
+  }
+  return laps;
+}
+
 Var HgcnBlock::forward(Tape& tape, Var x, std::size_t slot) {
-  Var acc = geo_layer_.forward(tape, x, graphs_.geographic().scaled_laplacian());
+  return forward(tape, x, slot, make_lap_vars(tape));
+}
+
+Var HgcnBlock::forward(Tape& tape, Var x, std::size_t slot,
+                       const LapVars& laps) {
+  Var acc = geo_layer_.forward(tape, x, laps.geo);
   const std::vector<double> w = graphs_.interval_weights(slot);
   for (std::size_t m = 0; m < temporal_layers_.size(); ++m) {
     if (w[m] <= 1e-8) continue;  // negligible mixture weight: skip the GCN
-    Var out =
-        temporal_layers_[m].forward(tape, x, graphs_.temporal(m).scaled_laplacian());
+    Var out = temporal_layers_[m].forward(tape, x, laps.temporal[m]);
     acc = tape.add(acc, tape.scale(out, w[m]));
   }
   return tape.relu(acc);
@@ -118,9 +133,9 @@ std::vector<ad::Parameter*> RihgcnModel::parameters() {
   return out;
 }
 
-RihgcnModel::DirectionResult RihgcnModel::run_direction(Tape& tape,
-                                                        const data::Window& w,
-                                                        bool reverse) {
+RihgcnModel::DirectionResult RihgcnModel::run_direction(
+    Tape& tape, const data::Window& w, bool reverse,
+    const HgcnBlock::LapVars& laps) {
   const std::size_t steps = config_.lookback;
   if (w.x_obs.size() != steps) {
     throw std::invalid_argument("RihgcnModel: window lookback mismatch");
@@ -158,8 +173,8 @@ RihgcnModel::DirectionResult RihgcnModel::run_direction(Tape& tape,
                         tape.hadamard_const(est_used, inv_mask));
     const std::size_t slot =
         (w.slot + t) % graphs_.steps_per_day();
-    Var s = hgcn_.forward(tape, comp, slot);
-    if (hgcn2_) s = hgcn2_->forward(tape, s, slot);
+    Var s = hgcn_.forward(tape, comp, slot, laps);
+    if (hgcn2_) s = hgcn2_->forward(tape, s, slot, laps);
     Var lstm_in = tape.concat_cols(s, tape.constant(mask));
     state = lstm.step(tape, lstm_in, state);
     Var z = tape.concat_cols(s, state.h);
@@ -173,9 +188,14 @@ RihgcnModel::DirectionResult RihgcnModel::run_direction(Tape& tape,
 RihgcnModel::ForwardOutput RihgcnModel::forward(Tape& tape,
                                                 const data::Window& w) {
   const std::size_t steps = config_.lookback;
-  DirectionResult fwd = run_direction(tape, w, /*reverse=*/false);
+  // One set of Laplacian constants per tape, shared by both directions and
+  // both stacked HGCN blocks (same underlying graphs).
+  const HgcnBlock::LapVars laps = hgcn_.make_lap_vars(tape);
+  DirectionResult fwd = run_direction(tape, w, /*reverse=*/false, laps);
   DirectionResult bwd;
-  if (config_.bidirectional) bwd = run_direction(tape, w, /*reverse=*/true);
+  if (config_.bidirectional) {
+    bwd = run_direction(tape, w, /*reverse=*/true, laps);
+  }
 
   // ---- Imputation loss (Eq. 6) -------------------------------------------
   ForwardOutput out;

@@ -36,9 +36,25 @@ class HgcnBlock : public nn::Module {
   HgcnBlock(const HeterogeneousGraphs& graphs, std::size_t in_dim,
             std::size_t out_dim, std::size_t cheb_order, Rng& rng);
 
+  /// Tape-resident Laplacian constants. The graphs are fixed per model, so a
+  /// forward pass creates these once per tape and shares them across all
+  /// lookback timesteps instead of pushing a fresh N x N constant per GCN
+  /// call (lookback x (M+1) copies). Values are unchanged; the constants
+  /// carry no gradient.
+  struct LapVars {
+    ad::Var geo;
+    std::vector<ad::Var> temporal;  ///< one per temporal graph
+  };
+  [[nodiscard]] LapVars make_lap_vars(ad::Tape& tape) const;
+
   /// x: N x in_dim complement matrix; slot: fine time-of-day slot of the
   /// sample (drives the temporal-graph mixture weights).
   [[nodiscard]] ad::Var forward(ad::Tape& tape, ad::Var x, std::size_t slot);
+
+  /// Same, with the Laplacians already on the tape (hot path — the per-tape
+  /// LapVars are block-agnostic, any block over the same graphs can share).
+  [[nodiscard]] ad::Var forward(ad::Tape& tape, ad::Var x, std::size_t slot,
+                                const LapVars& laps);
 
   [[nodiscard]] std::vector<ad::Parameter*> parameters() override;
   [[nodiscard]] std::size_t out_dim() const noexcept { return out_dim_; }
@@ -111,7 +127,8 @@ class RihgcnModel : public ForecastModel {
   };
   [[nodiscard]] DirectionResult run_direction(ad::Tape& tape,
                                               const data::Window& w,
-                                              bool reverse);
+                                              bool reverse,
+                                              const HgcnBlock::LapVars& laps);
 
   const HeterogeneousGraphs& graphs_;
   RihgcnConfig config_;

@@ -171,14 +171,20 @@ ChebGcnLayer::ChebGcnLayer(std::size_t in_dim, std::size_t out_dim,
 }
 
 Var ChebGcnLayer::forward(Tape& tape, Var x, const Matrix& scaled_laplacian) {
-  if (x.cols() != in_dim_) {
-    throw ShapeError("ChebGcnLayer::forward: input dim mismatch");
-  }
   if (scaled_laplacian.rows() != x.rows() ||
       scaled_laplacian.cols() != x.rows()) {
     throw ShapeError("ChebGcnLayer::forward: Laplacian/input size mismatch");
   }
-  Var lap = tape.constant(scaled_laplacian);
+  return forward(tape, x, tape.constant(scaled_laplacian));
+}
+
+Var ChebGcnLayer::forward(Tape& tape, Var x, Var lap) {
+  if (x.cols() != in_dim_) {
+    throw ShapeError("ChebGcnLayer::forward: input dim mismatch");
+  }
+  if (lap.rows() != x.rows() || lap.cols() != x.rows()) {
+    throw ShapeError("ChebGcnLayer::forward: Laplacian/input size mismatch");
+  }
   // Chebyshev recurrence: Z0 = x, Z1 = L̃x, Zk = 2 L̃ Z_{k-1} − Z_{k-2}.
   std::vector<Var> z;
   z.reserve(order_);

@@ -158,8 +158,14 @@ class ChebGcnLayer : public Module {
   ChebGcnLayer(std::size_t in_dim, std::size_t out_dim, std::size_t order,
                Rng& rng, std::string name = "cheb_gcn");
 
-  /// x: (N x in_dim), scaled_laplacian: (N x N).
+  /// x: (N x in_dim), scaled_laplacian: (N x N). Wraps the Laplacian in a
+  /// fresh tape constant each call; prefer the Var overload in loops.
   [[nodiscard]] Var forward(Tape& tape, Var x, const Matrix& scaled_laplacian);
+
+  /// Same convolution with the Laplacian already on the tape (e.g. created
+  /// once per tape and reused across timesteps — avoids lookback x (M+1)
+  /// redundant N x N constants per forward pass).
+  [[nodiscard]] Var forward(Tape& tape, Var x, Var scaled_laplacian);
 
   [[nodiscard]] std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::size_t order() const noexcept { return order_; }

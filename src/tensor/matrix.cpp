@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "tensor/parallel.hpp"
+
 namespace rihgcn {
 
 namespace {
@@ -17,6 +19,103 @@ namespace {
   os << op << ": incompatible shapes (" << a.rows() << "x" << a.cols()
      << ") vs (" << b.rows() << "x" << b.cols() << ")";
   throw ShapeError(os.str());
+}
+
+// Elementwise dispatch: inline below the tuning threshold, chunked onto the
+// global pool above it. Each element is touched by exactly one chunk, so
+// results never depend on the thread count.
+template <typename Body>
+void for_elems(std::size_t n, Body&& body) {
+  if (n < ParallelTuning::min_elems) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() <= 1) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  pool.parallel_for(0, n, ParallelTuning::elem_grain,
+                    ThreadPool::RangeBody(std::forward<Body>(body)));
+}
+
+// Row-partitioned dispatch for the matmul family. `flops` ~ n*k*m decides
+// whether pool dispatch is worth it; the row grain is fixed so partition
+// boundaries are thread-count independent.
+template <typename Body>
+void for_rows(std::size_t rows, std::size_t flops, Body&& body) {
+  if (flops < ParallelTuning::min_matmul_flops) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() <= 1) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  pool.parallel_for(0, rows, ParallelTuning::matmul_row_grain,
+                    ThreadPool::RangeBody(std::forward<Body>(body)));
+}
+
+// Cache-blocked matmul over output rows [i0, i1): C += A * B with a 4x4
+// register tile and k innermost. Every C element accumulates its k-terms in
+// ascending order seeded from the existing C value — the exact per-element
+// arithmetic of the naive i-k-j kernel — so the result is bitwise identical
+// to the serial reference and independent of how rows are partitioned.
+void matmul_block_rows(const double* ap, const double* bp, double* cp,
+                       std::size_t k, std::size_t m, std::size_t i0,
+                       std::size_t i1) {
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* a0 = ap + (i + 0) * k;
+    const double* a1 = ap + (i + 1) * k;
+    const double* a2 = ap + (i + 2) * k;
+    const double* a3 = ap + (i + 3) * k;
+    double* c0 = cp + (i + 0) * m;
+    double* c1 = cp + (i + 1) * m;
+    double* c2 = cp + (i + 2) * m;
+    double* c3 = cp + (i + 3) * m;
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      double t00 = c0[j], t01 = c0[j + 1], t02 = c0[j + 2], t03 = c0[j + 3];
+      double t10 = c1[j], t11 = c1[j + 1], t12 = c1[j + 2], t13 = c1[j + 3];
+      double t20 = c2[j], t21 = c2[j + 1], t22 = c2[j + 2], t23 = c2[j + 3];
+      double t30 = c3[j], t31 = c3[j + 1], t32 = c3[j + 2], t33 = c3[j + 3];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double* brow = bp + kk * m + j;
+        const double b0 = brow[0], b1 = brow[1], b2 = brow[2], b3 = brow[3];
+        const double av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+        t00 += av0 * b0; t01 += av0 * b1; t02 += av0 * b2; t03 += av0 * b3;
+        t10 += av1 * b0; t11 += av1 * b1; t12 += av1 * b2; t13 += av1 * b3;
+        t20 += av2 * b0; t21 += av2 * b1; t22 += av2 * b2; t23 += av2 * b3;
+        t30 += av3 * b0; t31 += av3 * b1; t32 += av3 * b2; t33 += av3 * b3;
+      }
+      c0[j] = t00; c0[j + 1] = t01; c0[j + 2] = t02; c0[j + 3] = t03;
+      c1[j] = t10; c1[j + 1] = t11; c1[j + 2] = t12; c1[j + 3] = t13;
+      c2[j] = t20; c2[j + 1] = t21; c2[j + 2] = t22; c2[j + 3] = t23;
+      c3[j] = t30; c3[j + 1] = t31; c3[j + 2] = t32; c3[j + 3] = t33;
+    }
+    for (; j < m; ++j) {
+      double t0 = c0[j], t1 = c1[j], t2 = c2[j], t3 = c3[j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double b0 = bp[kk * m + j];
+        t0 += a0[kk] * b0;
+        t1 += a1[kk] * b0;
+        t2 += a2[kk] * b0;
+        t3 += a3[kk] * b0;
+      }
+      c0[j] = t0; c1[j] = t1; c2[j] = t2; c3[j] = t3;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* arow = ap + i * k;
+    double* crow = cp + i * m;
+    for (std::size_t j = 0; j < m; ++j) {
+      double t = crow[j];
+      for (std::size_t kk = 0; kk < k; ++kk) t += arow[kk] * bp[kk * m + j];
+      crow[j] = t;
+    }
+  }
 }
 
 }  // namespace
@@ -74,31 +173,49 @@ Matrix Matrix::col_vector(const std::vector<double>& v) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   if (!same_shape(other)) throw_shape("operator+=", *this, other);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  double* dst = data_.data();
+  const double* src = other.data_.data();
+  for_elems(data_.size(), [dst, src](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) dst[i] += src[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   if (!same_shape(other)) throw_shape("operator-=", *this, other);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  double* dst = data_.data();
+  const double* src = other.data_.data();
+  for_elems(data_.size(), [dst, src](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) dst[i] -= src[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (auto& x : data_) x *= s;
+  double* dst = data_.data();
+  for_elems(data_.size(), [dst, s](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) dst[i] *= s;
+  });
   return *this;
 }
 
 Matrix& Matrix::hadamard_inplace(const Matrix& other) {
   if (!same_shape(other)) throw_shape("hadamard_inplace", *this, other);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  double* dst = data_.data();
+  const double* src = other.data_.data();
+  for_elems(data_.size(), [dst, src](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) dst[i] *= src[i];
+  });
   return *this;
 }
 
 void Matrix::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
 
 void Matrix::apply(const std::function<double(double)>& f) {
-  for (auto& x : data_) x = f(x);
+  double* dst = data_.data();
+  for_elems(data_.size(), [dst, &f](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) dst[i] = f(dst[i]);
+  });
 }
 
 Matrix Matrix::row(std::size_t r) const { return slice_rows(r, r + 1); }
@@ -144,9 +261,25 @@ void Matrix::set_rows(std::size_t r0, const Matrix& src) {
 
 Matrix Matrix::transposed() const {
   Matrix out(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  if (data_.size() < ParallelTuning::min_elems ||
+      ThreadPool::global().num_threads() <= 1) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    }
+    return out;
   }
+  // Each source row scatters into one output column: chunks of rows write
+  // disjoint columns, so the partition (fixed by shape, not thread count)
+  // cannot affect the result.
+  const std::size_t grain =
+      std::max<std::size_t>(1, ParallelTuning::elem_grain /
+                                   std::max<std::size_t>(1, cols_));
+  ThreadPool::global().parallel_for(
+      0, rows_, grain, [this, &out](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+        }
+      });
   return out;
 }
 
@@ -226,10 +359,35 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 }
 
 void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
-  if (a.cols() != b.rows()) throw_shape("matmul", a, b);
-  if (out.rows() != a.rows() || out.cols() != b.cols()) {
-    throw_shape("matmul output", out, b);
+  if (a.cols() != b.rows()) {
+    std::ostringstream os;
+    os << "matmul: inner dimensions differ: A(" << a.rows() << "x" << a.cols()
+       << ") * B(" << b.rows() << "x" << b.cols() << ")";
+    throw ShapeError(os.str());
   }
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    std::ostringstream os;
+    os << "matmul_accumulate: out(" << out.rows() << "x" << out.cols()
+       << ") cannot hold A(" << a.rows() << "x" << a.cols() << ") * B("
+       << b.rows() << "x" << b.cols() << ") = (" << a.rows() << "x"
+       << b.cols() << ")";
+    throw ShapeError(os.str());
+  }
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t m = b.cols();
+  if (n == 0 || k == 0 || m == 0) return;
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* cp = out.data();
+  for_rows(n, n * k * m, [ap, bp, cp, k, m](std::size_t i0, std::size_t i1) {
+    matmul_block_rows(ap, bp, cp, k, m, i0, i1);
+  });
+}
+
+namespace detail {
+
+void matmul_naive(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t n = a.rows();
   const std::size_t k = a.cols();
   const std::size_t m = b.cols();
@@ -249,19 +407,31 @@ void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   }
 }
 
+}  // namespace detail
+
 Matrix matmul_bt(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols()) throw_shape("matmul_bt", a, b);
   Matrix out(a.rows(), b.rows());
   const std::size_t k = a.cols();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.data() + i * k;
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.data() + j * k;
-      double s = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      out(i, j) = s;
-    }
-  }
+  const std::size_t rows = a.rows();
+  const std::size_t cols = b.rows();
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* op = out.data();
+  // Row-partitioned; each dot product accumulates k-terms in ascending
+  // order with a single accumulator, matching the serial kernel exactly.
+  for_rows(rows, rows * cols * k,
+           [ap, bp, op, k, cols](std::size_t i0, std::size_t i1) {
+             for (std::size_t i = i0; i < i1; ++i) {
+               const double* arow = ap + i * k;
+               for (std::size_t j = 0; j < cols; ++j) {
+                 const double* brow = bp + j * k;
+                 double s = 0.0;
+                 for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+                 op[i * cols + j] = s;
+               }
+             }
+           });
   return out;
 }
 
@@ -271,16 +441,23 @@ Matrix matmul_at(const Matrix& a, const Matrix& b) {
   const std::size_t n = a.rows();
   const std::size_t p = a.cols();
   const std::size_t m = b.cols();
-  for (std::size_t r = 0; r < n; ++r) {
-    const double* arow = a.data() + r * p;
-    const double* brow = b.data() + r * m;
-    for (std::size_t i = 0; i < p; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* orow = out.data() + i * m;
-      for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* op = out.data();
+  // Partitioned over output rows i (columns of A); the reduction dimension r
+  // stays innermost-ascending per element, so any row partition gives the
+  // same bits as the serial r-outer seed kernel.
+  for_rows(p, n * p * m, [ap, bp, op, n, p, m](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* orow = op + i * m;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double av = ap[r * p + i];
+        if (av == 0.0) continue;
+        const double* brow = bp + r * m;
+        for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -320,9 +497,12 @@ Matrix zip(const Matrix& a, const Matrix& b,
            const std::function<double(double, double)>& f) {
   if (!a.same_shape(b)) throw_shape("zip", a, b);
   Matrix out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out.data()[i] = f(a.data()[i], b.data()[i]);
-  }
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for_elems(a.size(), [pa, pb, po, &f](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 

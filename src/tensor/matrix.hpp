@@ -94,7 +94,9 @@ class Matrix {
   Matrix& hadamard_inplace(const Matrix& other);
   /// Set every element to `value`.
   void fill(double value);
-  /// Apply `f` to every element in place.
+  /// Apply `f` to every element in place. For large matrices `f` is invoked
+  /// from the worker threads of the global ThreadPool, so it must be safe to
+  /// call concurrently (every callsite uses stateless lambdas).
   void apply(const std::function<double(double)>& f);
 
   // ---- Views / slices (deep copies — storage is always owned) ------------
@@ -140,11 +142,24 @@ class Matrix {
 };
 
 // ---- Free-function kernels -------------------------------------------------
+//
+// The matmul family and the large-size elementwise/transpose paths run on
+// the global ThreadPool (tensor/parallel.hpp). Partitioning is by output
+// rows with fixed chunk boundaries and every output element keeps the exact
+// serial accumulation order (ascending k), so results are bit-for-bit
+// identical for any thread count — see DESIGN.md §8.
 
 /// C = A * B (throws ShapeError unless A.cols == B.rows).
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 /// C += A * B into a preallocated output (avoids allocation in hot loops).
 void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+namespace detail {
+/// The seed single-threaded i-k-j kernel, kept verbatim as the ground-truth
+/// reference for the parallel backend's property tests and as the baseline
+/// in bench_micro. C += A * B; shapes must already agree.
+void matmul_naive(const Matrix& a, const Matrix& b, Matrix& out);
+}  // namespace detail
 /// C = A * B^T without materializing the transpose.
 [[nodiscard]] Matrix matmul_bt(const Matrix& a, const Matrix& b);
 /// C = A^T * B without materializing the transpose.

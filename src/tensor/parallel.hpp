@@ -1,0 +1,127 @@
+// Fixed-size thread pool and deterministic data-parallel primitives for the
+// tensor kernels (blocked matmul, elementwise ops, transpose) and the
+// autodiff tape's backward loops.
+//
+// Determinism contract (DESIGN.md §8 "Parallel execution model")
+//  * parallel_for partitions [begin, end) into chunks of `grain` elements.
+//    Chunk boundaries depend only on (begin, end, grain) — never on the
+//    thread count or on scheduling. Each chunk runs on exactly one thread.
+//  * Kernel bodies write disjoint outputs and each output element is
+//    produced entirely inside one chunk, so results are bit-for-bit
+//    identical for every thread count, including fully serial execution.
+//  * parallel_reduce combines per-chunk partial results strictly in
+//    ascending chunk order, so floating-point rounding does not depend on
+//    the thread count either (it does depend on `grain`, which is fixed).
+//
+// Sizing: the process-wide pool (ThreadPool::global()) reads the
+// RIHGCN_THREADS environment variable once at first use; unset/invalid
+// values fall back to std::thread::hardware_concurrency(). A pool of size N
+// spawns N-1 workers — the thread that calls parallel_for participates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rihgcn {
+
+/// Work-stealing-free fixed-size thread pool. parallel_for/parallel_reduce
+/// are synchronous (they return when every chunk has run); enqueue() is
+/// fire-and-forget for independent background tasks.
+///
+/// Thread safety: parallel_for may be called concurrently from several
+/// non-pool threads (each call is an independent job; the trainer's
+/// data-parallel workers rely on this). A parallel_for issued from inside a
+/// running chunk or task executes inline and serially (reentrancy guard) —
+/// nesting never deadlocks and never oversubscribes.
+class ThreadPool {
+ public:
+  /// `num_threads` == total concurrency (callers participate); a pool of
+  /// size <= 1 spawns no workers and runs everything inline.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return num_threads_;
+  }
+
+  /// Body receives a half-open chunk [chunk_begin, chunk_end).
+  using RangeBody = std::function<void(std::size_t, std::size_t)>;
+
+  /// Run `body` over [begin, end) in chunks of `grain` (see the determinism
+  /// contract above). The first exception thrown by any chunk is rethrown
+  /// here after all claimed chunks finish; remaining chunks still run.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const RangeBody& body);
+
+  /// chunk_fn maps a chunk [b, e) to its partial result; partials are
+  /// combined as ((init + r0) + r1) + ... in ascending chunk order.
+  using ChunkReducer = std::function<double(std::size_t, std::size_t)>;
+  [[nodiscard]] double parallel_reduce(std::size_t begin, std::size_t end,
+                                       std::size_t grain, double init,
+                                       const ChunkReducer& chunk_fn);
+
+  /// Fire-and-forget task. Tasks still queued when the pool is destroyed
+  /// are discarded (tasks already running are completed first); exceptions
+  /// escaping a task are swallowed. Runs inline if the pool has no workers.
+  void enqueue(std::function<void()> task);
+  /// Block until the enqueue() queue is empty and no task is running.
+  void wait_idle();
+
+  /// True while the calling thread is executing a chunk body or an enqueued
+  /// task — i.e. a parallel_for issued now would run inline.
+  [[nodiscard]] static bool in_parallel_region() noexcept;
+
+  /// Process-wide pool, created on first use with threads_from_env().
+  [[nodiscard]] static ThreadPool& global();
+  /// Replace the global pool with one of `n` threads (0 = re-read the
+  /// environment). Callers must quiesce kernel activity first: the old pool
+  /// is joined and destroyed. Intended for tests and benchmarks.
+  static void set_global_threads(std::size_t n);
+  /// RIHGCN_THREADS if set to a positive integer, else hardware concurrency.
+  [[nodiscard]] static std::size_t threads_from_env() noexcept;
+
+ private:
+  struct RangeJob;
+
+  void worker_loop();
+  void run_chunk(RangeJob& job, std::size_t chunk);
+  void run_serial(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeBody& body);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: jobs/tasks available or stop
+  std::condition_variable done_cv_;  // parallel_for callers: job finished
+  std::condition_variable idle_cv_;  // wait_idle(): task queue drained
+  std::deque<RangeJob*> jobs_;
+  std::deque<std::function<void()>> tasks_;
+  std::size_t active_tasks_ = 0;
+  bool stop_ = false;
+  std::size_t num_threads_ = 1;
+};
+
+/// Dispatch thresholds for the parallel tensor kernels. Below the threshold
+/// the serial path runs inline so tiny matrices don't pay pool dispatch
+/// overhead. Mutable so tests and benchmarks can force the threaded path on
+/// small inputs; not synchronized — set while no kernels are in flight.
+/// Grain changes never alter elementwise/matmul results (each output element
+/// is produced wholly inside one chunk); they do alter parallel_reduce
+/// rounding, which is why the defaults are fixed constants.
+struct ParallelTuning {
+  static std::size_t min_elems;         ///< elementwise ops: min elements
+  static std::size_t elem_grain;        ///< elementwise ops: chunk size
+  static std::size_t min_matmul_flops;  ///< matmul family: min n*k*m
+  static std::size_t matmul_row_grain;  ///< matmul family: rows per chunk
+  /// Restore the defaults (tests).
+  static void reset() noexcept;
+};
+
+}  // namespace rihgcn

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <functional>
 
+#include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
 
 namespace rihgcn::ad {
@@ -366,6 +367,71 @@ INSTANTIATE_TEST_SUITE_P(Shapes, CompositeGradTest,
                          ::testing::Values(std::pair{1, 1}, std::pair{1, 4},
                                            std::pair{3, 2}, std::pair{5, 5},
                                            std::pair{7, 3}, std::pair{2, 8}));
+
+// Numerical-gradient property checks run twice — once on the serial path and
+// once with a 4-thread pool and the dispatch thresholds forced down so every
+// threaded kernel engages even on these small matrices. Analytic gradients
+// must match central differences identically on both backends.
+class ParallelBackendGrad : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    ParallelTuning::min_elems = 1;
+    ParallelTuning::elem_grain = 4;
+    ParallelTuning::min_matmul_flops = 1;
+    ParallelTuning::matmul_row_grain = 2;
+    ThreadPool::set_global_threads(GetParam());
+  }
+  void TearDown() override {
+    ParallelTuning::reset();
+    ThreadPool::set_global_threads(0);
+  }
+};
+
+TEST_P(ParallelBackendGrad, MaskedLossThroughGcnLikeStack) {
+  std::vector<Parameter> ps;
+  ps.emplace_back(randn(6, 4, 301), "x");
+  ps.emplace_back(randn(4, 4, 302), "w");
+  const Matrix target = randn(6, 4, 303);
+  Matrix mask(6, 4);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = (i * 2654435761u) % 4 == 0 ? 0.0 : 1.0;
+  }
+  expect_gradients_match(ps, [target, mask](Tape& t, std::vector<Var>& v) {
+    Var h = t.tanh(t.matmul(v[0], v[1]));
+    return t.masked_mae(t.hadamard_const(h, mask), target, mask);
+  });
+}
+
+TEST_P(ParallelBackendGrad, RecurrentChainWithGates) {
+  std::vector<Parameter> ps;
+  ps.emplace_back(randn(5, 3, 311), "x");
+  ps.emplace_back(randn(3, 3, 312), "w");
+  expect_gradients_match(ps, [](Tape& t, std::vector<Var>& v) {
+    Var h = v[0];
+    for (int step = 0; step < 3; ++step) {
+      Var z = t.matmul(h, v[1]);
+      h = t.add(t.mul(t.sigmoid(z), t.tanh(z)), t.scale(h, 0.5));
+    }
+    return t.mean_all(t.relu(h));
+  });
+}
+
+TEST_P(ParallelBackendGrad, SoftmaxAttentionMixture) {
+  std::vector<Parameter> ps;
+  ps.emplace_back(randn(6, 4, 321), "scores");
+  ps.emplace_back(randn(6, 4, 322), "values");
+  const Matrix target = randn(6, 4, 323);
+  expect_gradients_match(ps, [target](Tape& t, std::vector<Var>& v) {
+    Var alpha = t.softmax_rows(v[0]);
+    Var mixed = t.mul(alpha, v[1]);
+    Var col = t.slice_cols(alpha, 0, 1);
+    return t.masked_mse(t.mul_col_broadcast(mixed, col), target,
+                        Matrix(6, 4, 1.0));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndThreaded, ParallelBackendGrad,
+                         ::testing::Values(1u, 4u));
 
 }  // namespace
 }  // namespace rihgcn::ad

@@ -129,5 +129,78 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_EQ(same, 0);
 }
 
+// ---- Stream-stability regression -------------------------------------------
+//
+// Golden first-16 draws for the default seed and seed 42. Every experiment's
+// reproducibility rides on these streams, so any change to the xoshiro256**
+// core, the seeding, or the uniform mapping must show up here as a hard
+// failure — not as silently shifted results. normal() additionally goes
+// through libm (log/sqrt/cos), so it gets a near-equality bound instead of
+// exact bits.
+
+TEST(Rng, GoldenU64StreamDefaultSeed) {
+  const std::uint64_t expected[16] = {
+      0x422ea740d0977210ULL, 0xe062b061b42e2928ULL, 0x5a071fc5930841b6ULL,
+      0x01334ef8ed3cc2bdULL, 0xe45cbd6a2d9e96dbULL, 0x3bc1fe841a5f292fULL,
+      0x60001d95ebbbd8e6ULL, 0xa0aee00b5b303762ULL, 0x9e23c8d7514cf750ULL,
+      0xfc79b675a1a76a3cULL, 0xd430797eb1952242ULL, 0x5d8c1e38c042f56dULL,
+      0x62192f394c129095ULL, 0xb66848e210a0f50dULL, 0x2d1d2eb24edaba45ULL,
+      0x794532bcac68202cULL,
+  };
+  Rng rng;
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.next_u64(), e);
+}
+
+TEST(Rng, GoldenU64StreamSeed42) {
+  const std::uint64_t expected[16] = {
+      0x15780b2e0c2ec716ULL, 0x6104d9866d113a7eULL, 0xae17533239e499a1ULL,
+      0xecb8ad4703b360a1ULL, 0xfde6dc7fe2ec5e64ULL, 0xc50da53101795238ULL,
+      0xb82154855a65ddb2ULL, 0xd99a2743ebe60087ULL, 0xc2e96e726e97647eULL,
+      0x9556615f775fbc3dULL, 0xaeb53b340c103971ULL, 0x4a69db9873af8965ULL,
+      0xcd0feda93006c6b6ULL, 0x52480865a4b42742ULL, 0xb60dec3bf2d887cdULL,
+      0xe0b55a68b96677faULL,
+  };
+  Rng rng(42);
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.next_u64(), e);
+}
+
+TEST(Rng, GoldenUniformStream) {
+  const double expected_default[4] = {
+      0.2585243733634266,
+      0.87650587449405093,
+      0.35167120526878737,
+      0.0046891553622456783,
+  };
+  Rng rng;
+  for (double e : expected_default) EXPECT_DOUBLE_EQ(rng.uniform(), e);
+  const double expected_42[4] = {
+      0.083862971059882163,
+      0.37898025066266861,
+      0.68004341102813937,
+      0.92469294532538759,
+  };
+  Rng rng42(42);
+  for (double e : expected_42) EXPECT_DOUBLE_EQ(rng42.uniform(), e);
+}
+
+TEST(Rng, GoldenNormalStream) {
+  const double expected_default[4] = {
+      1.1740369082005633,
+      -1.1520277521805258,
+      1.4450963333431925,
+      0.042588954549205714,
+  };
+  Rng rng;
+  for (double e : expected_default) EXPECT_NEAR(rng.normal(), e, 1e-14);
+  const double expected_42[4] = {
+      -1.6132237513849161,
+      1.5344873235334195,
+      0.78169204505734891,
+      -0.40019349432348483,
+  };
+  Rng rng42(42);
+  for (double e : expected_42) EXPECT_NEAR(rng42.normal(), e, 1e-14);
+}
+
 }  // namespace
 }  // namespace rihgcn

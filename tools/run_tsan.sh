@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the test suite under ThreadSanitizer and run the parallel-backend
+# suites with a 4-thread pool. Catches data races in the ThreadPool, the
+# threaded tensor kernels, and the tape's parallel backward loops.
+#
+# Usage: tools/run_tsan.sh [extra gtest filter]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir=build-tsan
+cmake -B "${build_dir}" -S . -DRIHGCN_SANITIZE=thread >/dev/null
+cmake --build "${build_dir}" -j --target rihgcn_tests
+
+filter="${1:-ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*}"
+
+TSAN_OPTIONS="halt_on_error=1" \
+RIHGCN_THREADS=4 \
+  "${build_dir}/tests/rihgcn_tests" --gtest_filter="${filter}"
