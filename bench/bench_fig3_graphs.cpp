@@ -68,6 +68,22 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // Eq. 8 sparsity, grounded in actual numbers: nnz/density per graph (the
+  // sparse backend's win scales with how empty these are — DESIGN.md §9).
+  std::printf("graph sparsity (Eq. 8 thresholded adjacency):\n");
+  auto print_stats = [](const char* name, const Matrix& a) {
+    const graph::SparsityStats st = graph::sparsity_stats(a);
+    std::printf("   %-22s nnz=%4zu/%4zu  density=%.3f\n", name, st.nnz,
+                st.size, st.density);
+  };
+  print_stats("geographic:", env.graphs->geographic().adjacency());
+  for (std::size_t m = 0; m < env.graphs->num_temporal(); ++m) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "temporal[%zu]:", m);
+    print_stats(name, env.graphs->temporal(m).adjacency());
+  }
+  std::printf("\n");
+
   std::printf("structure differences (mean |edge weight delta|):\n");
   std::printf("   geo vs temporal[0]:        %.4f\n",
               structure_difference(env.graphs->geographic().adjacency(),

@@ -2,16 +2,27 @@
 // matmul, DTW, graph-Laplacian pipeline, Chebyshev GCN forward, LSTM step,
 // a full RIHGCN forward/backward, and one optimizer step. Not a paper
 // experiment — tracks the cost structure of the training loop.
+//
+// The custom main() additionally runs the sparse graph backend sweep
+// (SpMM vs dense Chebyshev propagation over N ∈ {64, 256, 1024} at the
+// densities the PeMS-like generator actually produces, plus a dense/sparse
+// RIHGCN train-step comparison) before the registered benchmarks, and
+// honors --json=PATH for machine-readable results (tools/run_bench.sh).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "core/rihgcn.hpp"
 #include "core/trainer.hpp"
 #include "data/generators.hpp"
 #include "data/missing.hpp"
 #include "graph/graph.hpp"
+#include "harness.hpp"
 #include "nn/optim.hpp"
+#include "tensor/csr.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/parallel.hpp"
 #include "timeseries/distance.hpp"
@@ -297,6 +308,167 @@ void BM_ParallelBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// ---- Sparse graph backend sweep (DESIGN.md §9) -----------------------------
+
+struct SweepGraph {
+  std::size_t n = 0;
+  Matrix lap;     // scaled Laplacian, dense
+  CsrMatrix csr;  // same matrix in CSR (tol = 0 — bitwise-equal kernels)
+};
+
+SweepGraph make_sweep_graph(std::size_t n) {
+  data::PemsLikeConfig cfg;
+  cfg.num_nodes = n;
+  // Scale the network like the generator default (30 nodes / 3 corridors):
+  // ~10 sensors per corridor. Growing N this way keeps Eq. 8 densities
+  // realistic instead of stretching three corridors across the whole map.
+  cfg.num_corridors = std::max<std::size_t>(1, n / 10);
+  cfg.num_days = 1;
+  cfg.steps_per_day = 24;  // readings are unused; only distances matter
+  const data::TrafficDataset ds = data::generate_pems_like(cfg);
+  SweepGraph g;
+  g.n = n;
+  g.lap =
+      graph::RoadGraph::from_distances(ds.geo_distances).scaled_laplacian();
+  g.csr = graph::to_csr(g.lap);
+  return g;
+}
+
+// Median-free quick timer: grows the iteration count until the measured
+// window is long enough to trust, then reports ns per call.
+template <typename F>
+double time_ns_per_op(F&& f) {
+  f();  // warmup
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) f();
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (sec > 0.2 || iters >= (1u << 22)) return sec * 1e9 /
+                                                 static_cast<double>(iters);
+    iters *= 4;
+  }
+}
+
+// SpMM vs dense Chebyshev propagation: the two L̃·Z products of the K = 3
+// three-term recurrence (the GCN hot path both backends share).
+void run_sparse_sweep(const bench::BenchOptions& opts,
+                      std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kFeat = 16;
+  std::printf(
+      "Sparse graph backend sweep — K=3 Chebyshev propagation, F=%zu\n",
+      kFeat);
+  std::printf("%-12s %6s %9s %8s %14s %9s\n", "kernel", "N", "density",
+              "threads", "ns/op", "speedup");
+  for (const std::size_t n : {64, 256, 1024}) {
+    const SweepGraph g = make_sweep_graph(n);
+    Rng rng(opts.seed);
+    const Matrix x = rng.normal_matrix(n, kFeat, 1.0);
+    for (const std::size_t threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+      const double dense_ns = time_ns_per_op([&] {
+        Matrix z1 = matmul(g.lap, x);
+        Matrix z2 = matmul(g.lap, z1);
+        benchmark::DoNotOptimize(z2.data());
+      });
+      const double spmm_ns = time_ns_per_op([&] {
+        Matrix z1 = spmm(g.csr, x);
+        Matrix z2 = spmm(g.csr, z1);
+        benchmark::DoNotOptimize(z2.data());
+      });
+      const double density = g.csr.density();
+      results.push_back({"cheb_dense", n, density, dense_ns, threads});
+      results.push_back({"cheb_spmm", n, density, spmm_ns, threads});
+      std::printf("%-12s %6zu %9.3f %8zu %14.0f %9s\n", "cheb_dense", n,
+                  density, threads, dense_ns, "1.00x");
+      std::printf("%-12s %6zu %9.3f %8zu %14.0f %8.2fx\n", "cheb_spmm", n,
+                  density, threads, spmm_ns, dense_ns / spmm_ns);
+    }
+  }
+  ThreadPool::set_global_threads(0);
+}
+
+// End-to-end view: one RIHGCN train step (forward + backward) with the
+// sparse backend on vs off, same parameters and data.
+void run_train_step_compare(const bench::BenchOptions& opts,
+                            std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kNodes = 256;
+  data::PemsLikeConfig cfg;
+  cfg.num_nodes = kNodes;
+  cfg.num_corridors = kNodes / 10;
+  cfg.num_days = 2;
+  cfg.steps_per_day = 48;
+  cfg.seed = opts.seed;
+  data::TrafficDataset ds = data::generate_pems_like(cfg);
+  Rng rng(opts.seed + 1);
+  data::inject_mcar(ds, 0.4, rng);
+  const std::size_t train_end = ds.num_timesteps() * 7 / 10;
+  const data::ZScoreNormalizer nz(ds, train_end);
+  nz.normalize(ds);
+  data::WindowSampler sampler(ds, 6, 3);
+  core::HeteroGraphsConfig gcfg;
+  gcfg.num_temporal_graphs = 2;
+  gcfg.partition_slots = 24;
+  core::HeterogeneousGraphs graphs(ds, train_end, gcfg, rng);
+  const data::Window w = sampler.make_window(10);
+
+  std::printf("\nRIHGCN train step, N=%zu (forward+backward, M=2, K=3)\n",
+              kNodes);
+  std::printf("%-18s %8s %14s %9s\n", "config", "threads", "ns/op", "speedup");
+  double density = 0.0;
+  {
+    const auto stats =
+        graph::sparsity_stats(graphs.geographic().scaled_laplacian());
+    density = stats.density;
+  }
+  for (const std::size_t threads : {1, 4}) {
+    ThreadPool::set_global_threads(threads);
+    double ns[2] = {0.0, 0.0};
+    for (const bool sparse : {false, true}) {
+      core::RihgcnConfig mc;
+      mc.lookback = 6;
+      mc.horizon = 3;
+      mc.gcn_dim = 8;
+      mc.lstm_dim = 8;
+      mc.use_sparse_graphs = sparse;
+      core::RihgcnModel model(graphs, kNodes, ds.num_features(), mc);
+      ns[sparse ? 1 : 0] = time_ns_per_op([&] {
+        for (ad::Parameter* p : model.parameters()) p->zero_grad();
+        ad::Tape tape;
+        ad::Var loss = model.training_loss(tape, w);
+        tape.backward(loss);
+        benchmark::DoNotOptimize(loss);
+      });
+      results.push_back({sparse ? "train_step_sparse" : "train_step_dense",
+                         kNodes, density, ns[sparse ? 1 : 0], threads});
+    }
+    std::printf("%-18s %8zu %14.0f %9s\n", "train_step_dense", threads, ns[0],
+                "1.00x");
+    std::printf("%-18s %8zu %14.0f %8.2fx\n", "train_step_sparse", threads,
+                ns[1], ns[0] / ns[1]);
+  }
+  ThreadPool::set_global_threads(0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark consumes its --benchmark* flags first; the harness
+  // parser picks up the rest (--json=PATH, --seed=N; it also tolerates any
+  // --benchmark* stragglers).
+  benchmark::Initialize(&argc, argv);
+  const rihgcn::bench::BenchOptions opts =
+      rihgcn::bench::BenchOptions::parse(argc, argv);
+  std::vector<rihgcn::bench::MicroResult> results;
+  run_sparse_sweep(opts, results);
+  run_train_step_compare(opts, results);
+  if (!opts.json_path.empty()) {
+    rihgcn::bench::write_micro_json(opts.json_path, results);
+    std::printf("(json written to %s)\n", opts.json_path.c_str());
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,9 +21,12 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       o.seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--csv=", 0) == 0) {
       o.csv_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      o.json_path = arg.substr(7);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "flags: --quick (default) | --full | --seed=N | --csv=PATH\n");
+          "flags: --quick (default) | --full | --seed=N | --csv=PATH | "
+          "--json=PATH\n");
       std::exit(0);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // Tolerate google-benchmark flags when invoked by a runner loop.
@@ -262,6 +265,26 @@ void emit(const metrics::ResultTable& table, const BenchOptions& opts) {
 double seconds_since(const std::chrono::steady_clock::time_point& t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+void write_micro_json(const std::string& path,
+                      const std::vector<MicroResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_micro_json: cannot open " + path);
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MicroResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  {\"name\": \"%s\", \"n\": %zu, \"density\": %.6f, "
+                  "\"ns_per_op\": %.1f, \"threads\": %zu}%s\n",
+                  r.name.c_str(), r.n, r.density, r.ns_per_op, r.threads,
+                  i + 1 < results.size() ? "," : "");
+    out << line;
+  }
+  out << "]\n";
 }
 
 }  // namespace rihgcn::bench

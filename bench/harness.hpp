@@ -8,6 +8,8 @@
 //               whose trends match the paper)
 //   --seed=N    RNG seed (default 17)
 //   --csv=PATH  also dump the table as CSV
+//   --json=PATH dump micro-benchmark results as JSON (bench_micro; see
+//               tools/run_bench.sh which maintains BENCH_micro.json)
 #pragma once
 
 #include <chrono>
@@ -34,9 +36,25 @@ struct BenchOptions {
   bool full = false;
   std::uint64_t seed = 17;
   std::string csv_path;
+  std::string json_path;
 
   static BenchOptions parse(int argc, char** argv);
 };
+
+/// One machine-readable micro-benchmark sample (the perf-trajectory record
+/// written by bench_micro --json).
+struct MicroResult {
+  std::string name;     ///< e.g. "cheb_dense" / "cheb_spmm"
+  std::size_t n = 0;    ///< graph size (nodes)
+  double density = 0.0; ///< Laplacian density the kernel saw
+  double ns_per_op = 0.0;
+  std::size_t threads = 0;
+};
+
+/// Write micro results as a JSON array of objects. Throws std::runtime_error
+/// if the file cannot be opened.
+void write_micro_json(const std::string& path,
+                      const std::vector<MicroResult>& results);
 
 /// Scale knobs derived from --full.
 struct Scale {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/csr.hpp"
 #include "tensor/parallel.hpp"
 
 namespace rihgcn::ad {
@@ -211,6 +212,22 @@ Var Tape::matmul(Var a, Var b) {
     if (t.node(ib).requires_grad) {
       t.grad_ref(ib) += matmul_at(t.node(ia).value, g);
     }
+  };
+  return out;
+}
+
+Var Tape::spmm(const CsrMatrix& a, Var b) {
+  check_same_tape(b);
+  const std::size_t ib = b.index;
+  Var out = push(rihgcn::spmm(a, value(b)), nodes_[ib].requires_grad, nullptr);
+  const std::size_t io = out.index;
+  // The Laplacian is a model-lifetime constant, so the closure stores only a
+  // pointer; dL/dB = Aᵀ·g. Allocate-then-add (not accumulate-in-place) keeps
+  // the gradient bitwise equal to the dense matmul path's matmul_at update.
+  const CsrMatrix* ap = &a;
+  nodes_[io].backward = [ib, io, ap](Tape& t) {
+    if (!t.node(ib).requires_grad) return;
+    t.grad_ref(ib) += rihgcn::spmm_t(*ap, t.grad_ref(io));
   };
   return out;
 }

@@ -27,6 +27,10 @@
 
 #include "tensor/matrix.hpp"
 
+namespace rihgcn {
+class CsrMatrix;
+}
+
 namespace rihgcn::ad {
 
 /// A trainable tensor: value + accumulated gradient, living outside any tape.
@@ -92,6 +96,13 @@ class Tape {
   Var hadamard_const(Var a, const Matrix& m);
   /// Matrix product.
   Var matmul(Var a, Var b);
+  /// Sparse-dense product a · b where `a` is a constant CSR matrix (a graph
+  /// Laplacian — never trained, so only `b` receives a gradient, routed
+  /// through spmm_t). `a` must outlive the tape: the backward closure keeps
+  /// a pointer to it, the same lifetime rule as Parameter in leaf(). With
+  /// `a` built at tol = 0 this is bitwise identical to
+  /// matmul(constant(a.to_dense()), b) — see tensor/csr.hpp.
+  Var spmm(const CsrMatrix& a, Var b);
   /// Multiply every column of a (rows x C) by col (rows x 1) elementwise —
   /// the attention-weighting primitive.
   Var mul_col_broadcast(Var a, Var col);

@@ -33,17 +33,57 @@ HgcnBlock::LapVars HgcnBlock::make_lap_vars(Tape& tape) const {
   return laps;
 }
 
+HgcnBlock::SparseLaps HgcnBlock::make_sparse_laps(double tol,
+                                                  double max_density) const {
+  auto build = [tol, max_density](const Matrix& lap) -> std::optional<CsrMatrix> {
+    CsrMatrix csr = CsrMatrix::from_dense(lap, tol);
+    if (csr.density() > max_density) return std::nullopt;  // dense fallback
+    return csr;
+  };
+  SparseLaps sparse;
+  sparse.geo = build(graphs_.geographic().scaled_laplacian());
+  sparse.temporal.reserve(graphs_.num_temporal());
+  for (std::size_t m = 0; m < graphs_.num_temporal(); ++m) {
+    sparse.temporal.push_back(build(graphs_.temporal(m).scaled_laplacian()));
+  }
+  return sparse;
+}
+
+HgcnBlock::LapVars HgcnBlock::make_lap_vars(Tape& tape,
+                                            const SparseLaps& sparse) const {
+  LapVars laps;
+  if (!sparse.geo) {
+    laps.geo = tape.constant(graphs_.geographic().scaled_laplacian());
+  }
+  laps.temporal.resize(graphs_.num_temporal());
+  for (std::size_t m = 0; m < graphs_.num_temporal(); ++m) {
+    if (!sparse.temporal[m]) {
+      laps.temporal[m] = tape.constant(graphs_.temporal(m).scaled_laplacian());
+    }
+  }
+  return laps;
+}
+
 Var HgcnBlock::forward(Tape& tape, Var x, std::size_t slot) {
   return forward(tape, x, slot, make_lap_vars(tape));
 }
 
 Var HgcnBlock::forward(Tape& tape, Var x, std::size_t slot,
                        const LapVars& laps) {
-  Var acc = geo_layer_.forward(tape, x, laps.geo);
+  return forward(tape, x, slot, laps, nullptr);
+}
+
+Var HgcnBlock::forward(Tape& tape, Var x, std::size_t slot,
+                       const LapVars& laps, const SparseLaps* sparse) {
+  Var acc = sparse && sparse->geo
+                ? geo_layer_.forward(tape, x, *sparse->geo)
+                : geo_layer_.forward(tape, x, laps.geo);
   const std::vector<double> w = graphs_.interval_weights(slot);
   for (std::size_t m = 0; m < temporal_layers_.size(); ++m) {
     if (w[m] <= 1e-8) continue;  // negligible mixture weight: skip the GCN
-    Var out = temporal_layers_[m].forward(tape, x, laps.temporal[m]);
+    Var out = sparse && sparse->temporal[m]
+                  ? temporal_layers_[m].forward(tape, x, *sparse->temporal[m])
+                  : temporal_layers_[m].forward(tape, x, laps.temporal[m]);
     acc = tape.add(acc, tape.scale(out, w[m]));
   }
   return tape.relu(acc);
@@ -109,6 +149,10 @@ RihgcnModel::RihgcnModel(const HeterogeneousGraphs& graphs,
   if (config.hgcn_layers == 0 || config.hgcn_layers > 2) {
     throw std::invalid_argument("RihgcnModel: hgcn_layers must be 1 or 2");
   }
+  if (config_.use_sparse_graphs) {
+    sparse_laps_ =
+        hgcn_.make_sparse_laps(/*tol=*/0.0, config_.sparse_density_limit);
+  }
 }
 
 std::vector<ad::Parameter*> RihgcnModel::parameters() {
@@ -135,7 +179,7 @@ std::vector<ad::Parameter*> RihgcnModel::parameters() {
 
 RihgcnModel::DirectionResult RihgcnModel::run_direction(
     Tape& tape, const data::Window& w, bool reverse,
-    const HgcnBlock::LapVars& laps) {
+    const HgcnBlock::LapVars& laps, const HgcnBlock::SparseLaps* sparse) {
   const std::size_t steps = config_.lookback;
   if (w.x_obs.size() != steps) {
     throw std::invalid_argument("RihgcnModel: window lookback mismatch");
@@ -173,8 +217,8 @@ RihgcnModel::DirectionResult RihgcnModel::run_direction(
                         tape.hadamard_const(est_used, inv_mask));
     const std::size_t slot =
         (w.slot + t) % graphs_.steps_per_day();
-    Var s = hgcn_.forward(tape, comp, slot, laps);
-    if (hgcn2_) s = hgcn2_->forward(tape, s, slot, laps);
+    Var s = hgcn_.forward(tape, comp, slot, laps, sparse);
+    if (hgcn2_) s = hgcn2_->forward(tape, s, slot, laps, sparse);
     Var lstm_in = tape.concat_cols(s, tape.constant(mask));
     state = lstm.step(tape, lstm_in, state);
     Var z = tape.concat_cols(s, state.h);
@@ -189,12 +233,16 @@ RihgcnModel::ForwardOutput RihgcnModel::forward(Tape& tape,
                                                 const data::Window& w) {
   const std::size_t steps = config_.lookback;
   // One set of Laplacian constants per tape, shared by both directions and
-  // both stacked HGCN blocks (same underlying graphs).
-  const HgcnBlock::LapVars laps = hgcn_.make_lap_vars(tape);
-  DirectionResult fwd = run_direction(tape, w, /*reverse=*/false, laps);
+  // both stacked HGCN blocks (same underlying graphs). With the sparse cache
+  // active, CSR-covered graphs skip the tape constant entirely.
+  const HgcnBlock::SparseLaps* sparse =
+      config_.use_sparse_graphs ? &sparse_laps_ : nullptr;
+  const HgcnBlock::LapVars laps = sparse ? hgcn_.make_lap_vars(tape, *sparse)
+                                         : hgcn_.make_lap_vars(tape);
+  DirectionResult fwd = run_direction(tape, w, /*reverse=*/false, laps, sparse);
   DirectionResult bwd;
   if (config_.bidirectional) {
-    bwd = run_direction(tape, w, /*reverse=*/true, laps);
+    bwd = run_direction(tape, w, /*reverse=*/true, laps, sparse);
   }
 
   // ---- Imputation loss (Eq. 6) -------------------------------------------

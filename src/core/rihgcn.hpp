@@ -19,12 +19,14 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/hetero_graphs.hpp"
 #include "core/model.hpp"
 #include "nn/layers.hpp"
+#include "tensor/csr.hpp"
 
 namespace rihgcn::core {
 
@@ -47,6 +49,24 @@ class HgcnBlock : public nn::Module {
   };
   [[nodiscard]] LapVars make_lap_vars(ad::Tape& tape) const;
 
+  /// Per-MODEL sparse Laplacian cache (DESIGN.md §9): the CSR form of every
+  /// scaled Laplacian, built once and reused by every forward pass. A graph
+  /// whose density exceeds `max_density` stays dense (nullopt) — SpMM loses
+  /// to the blocked dense kernel there — so a cache can mix sparse and dense
+  /// graphs freely.
+  struct SparseLaps {
+    std::optional<CsrMatrix> geo;
+    std::vector<std::optional<CsrMatrix>> temporal;  ///< one per temporal graph
+  };
+  [[nodiscard]] SparseLaps make_sparse_laps(double tol = 0.0,
+                                            double max_density = 0.5) const;
+
+  /// As make_lap_vars(), but skips the tape constants for graphs the sparse
+  /// cache covers (their Vars stay invalid) — CSR-covered graphs never touch
+  /// the tape, saving the O(N²) constant per graph per tape.
+  [[nodiscard]] LapVars make_lap_vars(ad::Tape& tape,
+                                      const SparseLaps& sparse) const;
+
   /// x: N x in_dim complement matrix; slot: fine time-of-day slot of the
   /// sample (drives the temporal-graph mixture weights).
   [[nodiscard]] ad::Var forward(ad::Tape& tape, ad::Var x, std::size_t slot);
@@ -55,6 +75,13 @@ class HgcnBlock : public nn::Module {
   /// LapVars are block-agnostic, any block over the same graphs can share).
   [[nodiscard]] ad::Var forward(ad::Tape& tape, ad::Var x, std::size_t slot,
                                 const LapVars& laps);
+
+  /// Hot path with the sparse cache: each graph propagates via SpMM when its
+  /// CSR is present, falling back to the dense lap Var otherwise. `sparse`
+  /// may be null (all-dense). With tol = 0 CSR the result is bitwise equal
+  /// to the dense overloads. `sparse` must outlive the tape.
+  [[nodiscard]] ad::Var forward(ad::Tape& tape, ad::Var x, std::size_t slot,
+                                const LapVars& laps, const SparseLaps* sparse);
 
   [[nodiscard]] std::vector<ad::Parameter*> parameters() override;
   [[nodiscard]] std::size_t out_dim() const noexcept { return out_dim_; }
@@ -85,6 +112,12 @@ struct RihgcnConfig {
   /// attention-weighted sum (paper's mentioned alternative).
   enum class Head { kConcat, kAttention };
   Head head = Head::kConcat;
+  /// Propagate Chebyshev terms through the CSR SpMM backend (DESIGN.md §9).
+  /// Bitwise identical to the dense path; off reverts to dense matmul.
+  bool use_sparse_graphs = true;
+  /// Per-graph dense fallback: graphs denser than this stay on the dense
+  /// kernels even when use_sparse_graphs is on.
+  double sparse_density_limit = 0.5;
   std::uint64_t seed = 7;
   /// Reported name — lets ablation variants (e.g. "GCN-LSTM-I" with zero
   /// temporal graphs) appear under the paper's method names.
@@ -125,16 +158,18 @@ class RihgcnModel : public ForecastModel {
     std::vector<ad::Var> estimates;  ///< estimates[t] = X̂_t; validity below
     std::vector<char> has_estimate;
   };
-  [[nodiscard]] DirectionResult run_direction(ad::Tape& tape,
-                                              const data::Window& w,
-                                              bool reverse,
-                                              const HgcnBlock::LapVars& laps);
+  [[nodiscard]] DirectionResult run_direction(
+      ad::Tape& tape, const data::Window& w, bool reverse,
+      const HgcnBlock::LapVars& laps, const HgcnBlock::SparseLaps* sparse);
 
   const HeterogeneousGraphs& graphs_;
   RihgcnConfig config_;
   std::size_t num_features_;
   Rng init_rng_;  ///< parameter-init stream; declared before the modules
   HgcnBlock hgcn_;
+  /// CSR of every scaled Laplacian, built once at construction (empty when
+  /// use_sparse_graphs is off). Shared by hgcn_ and hgcn2_ — same graphs.
+  HgcnBlock::SparseLaps sparse_laps_;
   std::unique_ptr<HgcnBlock> hgcn2_;  ///< present iff hgcn_layers == 2
   std::unique_ptr<nn::RecurrentCell> rnn_fwd_;
   std::unique_ptr<nn::RecurrentCell> rnn_bwd_;

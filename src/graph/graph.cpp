@@ -62,14 +62,24 @@ Matrix pairwise_euclidean(const Matrix& coords) {
   return out;
 }
 
-Matrix degree_matrix(const Matrix& adjacency) {
+std::vector<double> degree_vector(const Matrix& adjacency) {
   const std::size_t n = adjacency.rows();
-  Matrix d(n, n);
+  if (adjacency.cols() != n) {
+    throw ShapeError("degree_vector: adjacency must be square");
+  }
+  std::vector<double> deg(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double s = 0.0;
     for (std::size_t j = 0; j < n; ++j) s += adjacency(i, j);
-    d(i, i) = s;
+    deg[i] = s;
   }
+  return deg;
+}
+
+Matrix degree_matrix(const Matrix& adjacency) {
+  const std::vector<double> deg = degree_vector(adjacency);
+  Matrix d(deg.size(), deg.size());
+  for (std::size_t i = 0; i < deg.size(); ++i) d(i, i) = deg[i];
   return d;
 }
 
@@ -78,12 +88,9 @@ Matrix normalized_laplacian(const Matrix& adjacency) {
   if (adjacency.cols() != n) {
     throw ShapeError("normalized_laplacian: adjacency must be square");
   }
-  std::vector<double> dinv_sqrt(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    double s = 0.0;
-    for (std::size_t j = 0; j < n; ++j) s += adjacency(i, j);
-    dinv_sqrt[i] = s > 0.0 ? 1.0 / std::sqrt(s) : 0.0;
-  }
+  // D^{-1/2} from the degree vector alone — no N x N degree matrix.
+  std::vector<double> dinv_sqrt = degree_vector(adjacency);
+  for (double& s : dinv_sqrt) s = s > 0.0 ? 1.0 / std::sqrt(s) : 0.0;
   Matrix lap(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -170,6 +177,27 @@ Matrix scaled_laplacian_from_distances(const Matrix& distances,
                                        const AdjacencyOptions& opts) {
   return scaled_laplacian(normalized_laplacian(gaussian_adjacency(distances,
                                                                   opts)));
+}
+
+CsrMatrix to_csr(const Matrix& m, double tol) {
+  return CsrMatrix::from_dense(m, tol);
+}
+
+CsrMatrix scaled_laplacian_csr(const Matrix& laplacian, double lambda_max,
+                               double tol) {
+  return CsrMatrix::from_dense(scaled_laplacian(laplacian, lambda_max), tol);
+}
+
+SparsityStats sparsity_stats(const Matrix& m) {
+  SparsityStats st;
+  st.size = m.size();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m.data()[i] != 0.0) ++st.nnz;
+  }
+  if (st.size > 0) {
+    st.density = static_cast<double>(st.nnz) / static_cast<double>(st.size);
+  }
+  return st;
 }
 
 bool is_symmetric(const Matrix& m, double tol) {

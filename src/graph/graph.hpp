@@ -7,10 +7,12 @@
 #include <optional>
 #include <vector>
 
+#include "tensor/csr.hpp"
 #include "tensor/matrix.hpp"
 
 namespace rihgcn::graph {
 
+using rihgcn::CsrMatrix;
 using rihgcn::Matrix;
 
 /// Options for Gaussian-kernel adjacency construction (paper Eq. 8):
@@ -33,7 +35,13 @@ struct AdjacencyOptions {
 /// Pairwise Euclidean distances between rows of `coords` (N x dim).
 [[nodiscard]] Matrix pairwise_euclidean(const Matrix& coords);
 
-/// Degree matrix diag(sum_j A_ij) returned as N x N.
+/// Row-sum degrees deg_i = sum_j A_ij as a length-N vector. The hot-path
+/// building block behind degree_matrix/normalized_laplacian.
+[[nodiscard]] std::vector<double> degree_vector(const Matrix& adjacency);
+
+/// Degree matrix diag(sum_j A_ij) returned as N x N. Materializes a full
+/// dense matrix — kept for the public API and tests; the Laplacian pipeline
+/// works from degree_vector() instead.
 [[nodiscard]] Matrix degree_matrix(const Matrix& adjacency);
 
 /// Symmetric normalized Laplacian L = I − D^{-1/2} A D^{-1/2}.
@@ -55,6 +63,26 @@ struct AdjacencyOptions {
 /// Convenience: distance matrix -> scaled Laplacian in one call.
 [[nodiscard]] Matrix scaled_laplacian_from_distances(
     const Matrix& distances, const AdjacencyOptions& opts = {});
+
+// ---- Sparse graph backend (DESIGN.md §9) ----------------------------------
+
+/// CSR form of any graph matrix, keeping entries with |v| > tol. tol = 0
+/// preserves exact nonzeros so SpMM stays bitwise equal to dense matmul.
+[[nodiscard]] CsrMatrix to_csr(const Matrix& m, double tol = 0.0);
+
+/// Chebyshev-rescaled Laplacian L̃ = 2L/λ_max − I directly in CSR form.
+/// Same estimation rule for lambda_max as scaled_laplacian().
+[[nodiscard]] CsrMatrix scaled_laplacian_csr(const Matrix& laplacian,
+                                             double lambda_max = -1.0,
+                                             double tol = 0.0);
+
+/// Structural sparsity summary of a graph matrix.
+struct SparsityStats {
+  std::size_t nnz = 0;    ///< entries with |v| > 0
+  std::size_t size = 0;   ///< rows * cols
+  double density = 0.0;   ///< nnz / size (0 for an empty matrix)
+};
+[[nodiscard]] SparsityStats sparsity_stats(const Matrix& m);
 
 // ---- Structural checks (used by tests and data validation) ----------------
 

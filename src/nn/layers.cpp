@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/csr.hpp"
+
 namespace rihgcn::nn {
 
 Matrix xavier_uniform(Rng& rng, std::size_t fan_in, std::size_t fan_out) {
@@ -194,6 +196,30 @@ Var ChebGcnLayer::forward(Tape& tape, Var x, Var lap) {
     z.push_back(
         tape.sub(tape.scale(tape.matmul(lap, z[k - 1]), 2.0), z[k - 2]));
   }
+  return mix_theta(tape, z);
+}
+
+Var ChebGcnLayer::forward(Tape& tape, Var x, const CsrMatrix& lap) {
+  if (x.cols() != in_dim_) {
+    throw ShapeError("ChebGcnLayer::forward: input dim mismatch");
+  }
+  if (lap.rows() != x.rows() || lap.cols() != x.rows()) {
+    throw ShapeError("ChebGcnLayer::forward: Laplacian/input size mismatch");
+  }
+  // Same recurrence with L̃ applied via SpMM. Op structure matches the dense
+  // overload exactly, so the tape (and therefore the gradients) differ only
+  // in the kernel used for L̃·Z — which is bitwise-equal at tol = 0.
+  std::vector<Var> z;
+  z.reserve(order_);
+  z.push_back(x);
+  if (order_ > 1) z.push_back(tape.spmm(lap, x));
+  for (std::size_t k = 2; k < order_; ++k) {
+    z.push_back(tape.sub(tape.scale(tape.spmm(lap, z[k - 1]), 2.0), z[k - 2]));
+  }
+  return mix_theta(tape, z);
+}
+
+Var ChebGcnLayer::mix_theta(Tape& tape, const std::vector<Var>& z) {
   Var acc = tape.matmul(z[0], tape.leaf(theta_[0]));
   for (std::size_t k = 1; k < order_; ++k) {
     acc = tape.add(acc, tape.matmul(z[k], tape.leaf(theta_[k])));

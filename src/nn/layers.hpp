@@ -167,12 +167,23 @@ class ChebGcnLayer : public Module {
   /// redundant N x N constants per forward pass).
   [[nodiscard]] Var forward(Tape& tape, Var x, Var scaled_laplacian);
 
+  /// Sparse fast path: the recurrence runs over Tape::spmm instead of dense
+  /// matmul, dropping propagation cost from O(N²·in) to O(nnz·in). With the
+  /// CSR built at tol = 0 the result is bitwise identical to the dense
+  /// overloads (see tensor/csr.hpp). The CsrMatrix must outlive the tape —
+  /// in practice it lives in the model's per-model sparse Laplacian cache.
+  [[nodiscard]] Var forward(Tape& tape, Var x,
+                            const CsrMatrix& scaled_laplacian);
+
   [[nodiscard]] std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::size_t order() const noexcept { return order_; }
   [[nodiscard]] std::size_t in_dim() const noexcept { return in_dim_; }
   [[nodiscard]] std::size_t out_dim() const noexcept { return out_dim_; }
 
  private:
+  /// Σ_k Z_k Θ_k + b — the part shared by the dense and sparse overloads.
+  [[nodiscard]] Var mix_theta(Tape& tape, const std::vector<Var>& z);
+
   std::size_t in_dim_;
   std::size_t out_dim_;
   std::size_t order_;

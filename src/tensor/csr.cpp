@@ -1,0 +1,157 @@
+#include "tensor/csr.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/parallel.hpp"
+
+namespace rihgcn {
+
+namespace {
+
+// Row-partitioned dispatch mirroring the dense matmul family: the chunk
+// boundaries depend only on (rows, matmul_row_grain), never on the thread
+// count, and `work` ~ nnz * m decides whether pool dispatch is worth it.
+template <typename Body>
+void for_csr_rows(std::size_t rows, std::size_t work, Body&& body) {
+  if (work < ParallelTuning::min_matmul_flops) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.num_threads() <= 1) {
+    body(std::size_t{0}, rows);
+    return;
+  }
+  pool.parallel_for(0, rows, ParallelTuning::matmul_row_grain,
+                    ThreadPool::RangeBody(std::forward<Body>(body)));
+}
+
+// out rows [i0, i1) of C += S · B where S is the CSR triple (ptr, idx, val).
+// i-k-j order with k ascending per output element — the dense kernels'
+// per-element accumulation order minus the zero terms.
+void spmm_rows(const std::size_t* ptr, const std::size_t* idx,
+               const double* val, const double* bp, double* cp, std::size_t m,
+               std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    double* crow = cp + i * m;
+    for (std::size_t e = ptr[i]; e < ptr[i + 1]; ++e) {
+      const double av = val[e];
+      const double* brow = bp + idx[e] * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+[[noreturn]] void throw_spmm_shape(const char* op, const CsrMatrix& a,
+                                   std::size_t inner, const Matrix& b) {
+  std::ostringstream os;
+  os << op << ": inner dimensions differ: A(" << a.rows() << "x" << a.cols()
+     << (inner == a.cols() ? ")" : ")^T") << " * B(" << b.rows() << "x"
+     << b.cols() << ")";
+  throw ShapeError(os.str());
+}
+
+}  // namespace
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double tol) {
+  if (tol < 0.0) {
+    throw ShapeError("CsrMatrix::from_dense: tol must be >= 0");
+  }
+  CsrMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  const std::size_t n = out.rows_;
+  const std::size_t m = out.cols_;
+  out.row_ptr_.assign(n + 1, 0);
+  // Keep |v| > tol; tol = 0 keeps exact nonzeros (|v| > 0).
+  const double* dp = dense.data();
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n * m; ++i) {
+    if (std::abs(dp[i]) > tol) ++nnz;
+  }
+  out.col_idx_.reserve(nnz);
+  out.vals_.reserve(nnz);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = dp + i * m;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (std::abs(row[j]) > tol) {
+        out.col_idx_.push_back(j);
+        out.vals_.push_back(row[j]);
+      }
+    }
+    out.row_ptr_[i + 1] = out.vals_.size();
+  }
+  // Transpose structure: count per column, prefix-sum, then fill by
+  // ascending row so each transposed row ends up sorted by original row.
+  out.t_row_ptr_.assign(m + 1, 0);
+  for (const std::size_t c : out.col_idx_) ++out.t_row_ptr_[c + 1];
+  for (std::size_t c = 0; c < m; ++c) {
+    out.t_row_ptr_[c + 1] += out.t_row_ptr_[c];
+  }
+  out.t_col_idx_.resize(nnz);
+  out.t_vals_.resize(nnz);
+  std::vector<std::size_t> cursor(out.t_row_ptr_.begin(),
+                                  out.t_row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t e = out.row_ptr_[i]; e < out.row_ptr_[i + 1]; ++e) {
+      const std::size_t c = out.col_idx_[e];
+      out.t_col_idx_[cursor[c]] = i;
+      out.t_vals_[cursor[c]] = out.vals_[e];
+      ++cursor[c];
+    }
+  }
+  return out;
+}
+
+double CsrMatrix::density() const noexcept {
+  const std::size_t total = rows_ * cols_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      out(i, col_idx_[e]) = vals_[e];
+    }
+  }
+  return out;
+}
+
+Matrix spmm(const CsrMatrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw_spmm_shape("spmm", a, a.cols(), b);
+  Matrix out(a.rows(), b.cols());
+  const std::size_t m = b.cols();
+  if (a.rows() == 0 || m == 0 || a.nnz() == 0) return out;
+  const std::size_t* ptr = a.row_ptr_.data();
+  const std::size_t* idx = a.col_idx_.data();
+  const double* val = a.vals_.data();
+  const double* bp = b.data();
+  double* cp = out.data();
+  for_csr_rows(a.rows(), a.nnz() * m,
+               [ptr, idx, val, bp, cp, m](std::size_t i0, std::size_t i1) {
+                 spmm_rows(ptr, idx, val, bp, cp, m, i0, i1);
+               });
+  return out;
+}
+
+Matrix spmm_t(const CsrMatrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw_spmm_shape("spmm_t", a, a.rows(), b);
+  Matrix out(a.cols(), b.cols());
+  const std::size_t m = b.cols();
+  if (a.cols() == 0 || m == 0 || a.nnz() == 0) return out;
+  const std::size_t* ptr = a.t_row_ptr_.data();
+  const std::size_t* idx = a.t_col_idx_.data();
+  const double* val = a.t_vals_.data();
+  const double* bp = b.data();
+  double* cp = out.data();
+  for_csr_rows(a.cols(), a.nnz() * m,
+               [ptr, idx, val, bp, cp, m](std::size_t i0, std::size_t i1) {
+                 spmm_rows(ptr, idx, val, bp, cp, m, i0, i1);
+               });
+  return out;
+}
+
+}  // namespace rihgcn

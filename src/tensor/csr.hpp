@@ -1,0 +1,95 @@
+// Compressed-sparse-row matrix and the SpMM kernels behind the sparse graph
+// backend (DESIGN.md §9).
+//
+// The paper's graphs are thresholded Gaussian kernels (Eq. 8), so the scaled
+// Laplacians the Chebyshev GCN multiplies by are mostly zeros. CsrMatrix
+// stores only the nonzeros; spmm/spmm_t replace the dense N x N matmul on
+// the GCN hot path, cutting the propagation cost from O(N²·F) to O(nnz·F).
+//
+// Determinism contract (same as the dense kernels, DESIGN.md §8):
+//  * spmm/spmm_t partition OUTPUT rows into fixed-size chunks on the global
+//    ThreadPool; every output element accumulates its terms in ascending
+//    structural order inside exactly one chunk, so results are bit-for-bit
+//    identical for any thread count.
+//  * Per output element the accumulation order matches the dense kernels'
+//    ascending-k order minus the exactly-zero terms. Adding a ±0.0 product
+//    to a partial sum that started from +0.0 cannot change its bits (IEEE
+//    round-to-nearest never produces -0.0 from x + y unless both halves are
+//    -0.0), so for finite inputs spmm(csr(A), B) == matmul(A, B) and
+//    spmm_t(csr(A), B) == matmul_at(A, B) EXACTLY when csr was built with
+//    tol = 0. The sparse model path is therefore bitwise interchangeable
+//    with the dense one — tests/test_csr.cpp enforces this with == across
+//    random sparsity patterns and thread counts.
+//
+// A CsrMatrix also stores its transpose in CSR form (built once at
+// construction): the autodiff backward of y = A·x needs Aᵀ·g, and keeping
+// the transposed arrays lets spmm_t stay row-partitioned (scattering from
+// A's rows instead would make chunk writes overlap).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rihgcn {
+
+/// Immutable CSR matrix of doubles. Column indices are strictly ascending
+/// within each row; empty rows are allowed (row_ptr entries repeat).
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Build from a dense matrix, keeping entries with |v| > tol. tol = 0
+  /// keeps exactly the nonzeros (including denormals), which is what the
+  /// bitwise-parity contract above requires.
+  [[nodiscard]] static CsrMatrix from_dense(const Matrix& dense,
+                                            double tol = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  /// Number of stored entries.
+  [[nodiscard]] std::size_t nnz() const noexcept { return vals_.size(); }
+  /// nnz / (rows*cols); 0 for an empty matrix.
+  [[nodiscard]] double density() const noexcept;
+
+  /// Scatter back to a dense matrix (exact values).
+  [[nodiscard]] Matrix to_dense() const;
+
+  // Raw structure views (tests, serialization).
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return vals_;
+  }
+
+  friend Matrix spmm(const CsrMatrix& a, const Matrix& b);
+  friend Matrix spmm_t(const CsrMatrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  // A in CSR.
+  std::vector<std::size_t> row_ptr_;  // rows_+1 (empty for the 0x0 matrix)
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> vals_;
+  // Aᵀ in CSR (row r of the transpose = column r of A, entries ascending by
+  // A-row). Built eagerly: the graph Laplacians are constructed once per
+  // model and reused across every forward/backward pass.
+  std::vector<std::size_t> t_row_ptr_;  // cols_+1
+  std::vector<std::size_t> t_col_idx_;
+  std::vector<double> t_vals_;
+};
+
+/// C = A · B with A sparse (rows x k) and B dense (k x m).
+[[nodiscard]] Matrix spmm(const CsrMatrix& a, const Matrix& b);
+/// C = Aᵀ · B without materializing the transpose (uses the stored
+/// transposed structure) — the backward kernel for Tape::spmm.
+[[nodiscard]] Matrix spmm_t(const CsrMatrix& a, const Matrix& b);
+
+}  // namespace rihgcn

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <functional>
 
+#include "tensor/csr.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
 
@@ -134,6 +135,46 @@ TEST(TapeGrad, Matmul) {
   expect_gradients_match(ps, [](Tape& t, std::vector<Var>& v) {
     return t.mean_all(t.matmul(v[0], v[1]));
   });
+}
+
+TEST(TapeGrad, Spmm) {
+  // Sparse constant Laplacian stand-in (one empty row to hit that path).
+  Matrix lap = randn(4, 4, 60);
+  for (std::size_t j = 0; j < 4; ++j) {
+    lap(2, j) = 0.0;
+    lap(j, 1) = 0.0;
+  }
+  const CsrMatrix csr = CsrMatrix::from_dense(lap);
+  std::vector<Parameter> ps;
+  ps.emplace_back(randn(4, 3, 61), "x");
+  expect_gradients_match(ps, [&csr](Tape& t, std::vector<Var>& v) {
+    return t.mean_all(t.spmm(csr, v[0]));
+  });
+}
+
+TEST(TapeGrad, SpmmGradientBitwiseMatchesDenseMatmul) {
+  // The same loss through tape.spmm and through tape.matmul(constant(L), x)
+  // must produce bitwise-identical parameter gradients (DESIGN.md §9).
+  const Matrix lap = [] {
+    Matrix m = randn(5, 5, 62);
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        if ((i + 2 * j) % 3 == 0) m(i, j) = 0.0;
+      }
+    }
+    return m;
+  }();
+  const CsrMatrix csr = CsrMatrix::from_dense(lap);
+  auto grad_of = [&](bool sparse) {
+    Parameter x(randn(5, 4, 63), "x");
+    Tape tape;
+    Var leaf = tape.leaf(x);
+    Var prod = sparse ? tape.spmm(csr, leaf)
+                      : tape.matmul(tape.constant(lap), leaf);
+    tape.backward(tape.mean_all(prod));
+    return x.grad();
+  };
+  EXPECT_EQ(grad_of(true), grad_of(false));
 }
 
 TEST(TapeGrad, MatmulChain) {

@@ -8,6 +8,7 @@
 #include "data/generators.hpp"
 #include "data/missing.hpp"
 #include "nn/optim.hpp"
+#include "tensor/parallel.hpp"
 
 namespace rihgcn::core {
 namespace {
@@ -158,6 +159,35 @@ TEST(HgcnBlock, GradientFlowsThroughAllLayers) {
     if (p->grad().abs_max() > 0.0) ++touched;
   }
   EXPECT_GT(touched, block.parameters().size() / 2);
+}
+
+TEST(HgcnBlock, SparseLapsRespectDensityLimit) {
+  Fixture f(2);
+  Rng rng(9);
+  HgcnBlock block(*f.graphs, 4, 8, 2, rng);
+  // Limit 1.0 covers every graph; limit 0.0 covers none (dense fallback).
+  const HgcnBlock::SparseLaps all = block.make_sparse_laps(0.0, 1.0);
+  EXPECT_TRUE(all.geo.has_value());
+  ASSERT_EQ(all.temporal.size(), 2u);
+  for (const auto& t : all.temporal) EXPECT_TRUE(t.has_value());
+  EXPECT_EQ(all.geo->to_dense(), f.graphs->geographic().scaled_laplacian());
+  const HgcnBlock::SparseLaps none = block.make_sparse_laps(0.0, 0.0);
+  EXPECT_FALSE(none.geo.has_value());
+  for (const auto& t : none.temporal) EXPECT_FALSE(t.has_value());
+}
+
+TEST(HgcnBlock, SparseForwardBitwiseMatchesDense) {
+  Fixture f(2);
+  Rng rng(10);
+  HgcnBlock block(*f.graphs, 4, 8, 2, rng);
+  const HgcnBlock::SparseLaps sparse = block.make_sparse_laps(0.0, 1.0);
+  ad::Tape tape;
+  ad::Var x = tape.constant(Rng(11).normal_matrix(6, 4, 1.0));
+  const HgcnBlock::LapVars dense_laps = block.make_lap_vars(tape);
+  const HgcnBlock::LapVars skip_laps = block.make_lap_vars(tape, sparse);
+  ad::Var yd = block.forward(tape, x, 10, dense_laps);
+  ad::Var ys = block.forward(tape, x, 10, skip_laps, &sparse);
+  EXPECT_EQ(tape.value(yd), tape.value(ys));
 }
 
 // ---- RihgcnModel ----------------------------------------------------------------
@@ -331,6 +361,59 @@ TEST(Rihgcn, ForwardComplementStructure) {
   EXPECT_EQ(out.complement.size(), 6u);
   EXPECT_EQ(tape.value(out.prediction).cols(), 3u);
   EXPECT_GE(tape.value(out.imputation_loss)(0, 0), 0.0);
+}
+
+// ---- Sparse graph backend (DESIGN.md §9) ----------------------------------
+
+// Forces threaded paths on tiny inputs and pins the pool width (same idiom
+// as test_parallel.cpp); restores defaults on destruction.
+class BackendGuard {
+ public:
+  explicit BackendGuard(std::size_t threads) {
+    ParallelTuning::min_elems = 1;
+    ParallelTuning::elem_grain = 4;
+    ParallelTuning::min_matmul_flops = 1;
+    ParallelTuning::matmul_row_grain = 2;
+    ThreadPool::set_global_threads(threads);
+  }
+  ~BackendGuard() {
+    ParallelTuning::reset();
+    ThreadPool::set_global_threads(0);
+  }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+};
+
+// End-to-end acceptance for the sparse backend: training with
+// use_sparse_graphs on and off must produce bitwise-identical losses,
+// updated parameters and predictions (tol = 0 CSR), at any thread count.
+TEST(Rihgcn, SparseAndDenseTrainingBitwiseIdentical) {
+  Fixture f;
+  auto train_trace = [&](bool sparse) {
+    RihgcnConfig mc = f.model_config();
+    mc.use_sparse_graphs = sparse;
+    mc.sparse_density_limit = 1.0;  // cover every graph when sparse
+    RihgcnModel model(*f.graphs, 6, 4, mc);
+    nn::AdamOptimizer opt(model.parameters());
+    std::vector<double> trace;
+    for (std::size_t step = 0; step < 4; ++step) {
+      const data::Window w = f.sampler->make_window(step);
+      opt.zero_grad();
+      ad::Tape tape;
+      ad::Var loss = model.training_loss(tape, w);
+      tape.backward(loss);
+      opt.step();
+      trace.push_back(tape.value(loss)(0, 0));
+    }
+    const Matrix pred = model.predict(f.sampler->make_window(5));
+    trace.insert(trace.end(), pred.data(), pred.data() + pred.size());
+    return trace;
+  };
+  for (const std::size_t threads : {1u, 4u}) {
+    BackendGuard guard(threads);
+    EXPECT_EQ(train_trace(true), train_trace(false))
+        << "sparse/dense divergence at threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -81,6 +81,41 @@ TEST(Degree, RowSums) {
   EXPECT_EQ(d(0, 1), 0.0);
 }
 
+TEST(Degree, VectorMatchesMatrixDiagonal) {
+  Matrix a{{0, 2, 0}, {2, 0, 1}, {0, 1, 0}};
+  const std::vector<double> deg = degree_vector(a);
+  const Matrix d = degree_matrix(a);
+  ASSERT_EQ(deg.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(deg[i], d(i, i));
+  EXPECT_THROW((void)degree_vector(Matrix(2, 3)), ShapeError);
+}
+
+TEST(SparseBackend, ToCsrRoundTripsGraphMatrices) {
+  const Matrix a = gaussian_adjacency(ring_distances(9));
+  const CsrMatrix csr = to_csr(a);
+  EXPECT_EQ(csr.to_dense(), a);
+  // tol filtering drops weak edges.
+  EXPECT_LT(to_csr(a, 0.5).nnz(), csr.nnz());
+}
+
+TEST(SparseBackend, ScaledLaplacianCsrMatchesDense) {
+  const Matrix a = gaussian_adjacency(ring_distances(11));
+  const Matrix lap = normalized_laplacian(a);
+  const Matrix dense = scaled_laplacian(lap);
+  EXPECT_EQ(scaled_laplacian_csr(lap).to_dense(), dense);
+}
+
+TEST(SparseBackend, SparsityStats) {
+  Matrix m(4, 5);
+  m(0, 0) = 1.0;
+  m(3, 4) = -2.0;
+  const SparsityStats st = sparsity_stats(m);
+  EXPECT_EQ(st.nnz, 2u);
+  EXPECT_EQ(st.size, 20u);
+  EXPECT_DOUBLE_EQ(st.density, 0.1);
+  EXPECT_EQ(sparsity_stats(Matrix()).density, 0.0);
+}
+
 TEST(Laplacian, RowSumZeroForRegularGraph) {
   // For symmetric normalized Laplacian with uniform degrees, L·1 = 0.
   Matrix a(4, 4);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build bench_micro (Release) and refresh BENCH_micro.json at the repo root —
+# the machine-readable perf trajectory (SpMM-vs-dense Chebyshev propagation
+# sweep + RIHGCN train-step dense/sparse comparison; see DESIGN.md §9).
+#
+# Usage: tools/run_bench.sh [extra bench_micro flags]
+# The sweep always runs; the registered google-benchmark suites are skipped
+# by default (pass --benchmark_filter=... to include some).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+build_dir=build-bench
+cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" -j --target bench_micro
+
+"${build_dir}/bench/bench_micro" \
+  --benchmark_filter='^$' \
+  --json="${repo_root}/BENCH_micro.json" \
+  "$@"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build the test suite under ThreadSanitizer and run the parallel-backend
-# suites with a 4-thread pool. Catches data races in the ThreadPool, the
-# threaded tensor kernels, and the tape's parallel backward loops.
+# and sparse-backend suites with a 4-thread pool. Catches data races in the
+# ThreadPool, the threaded tensor kernels (dense and CSR SpMM), and the
+# tape's parallel backward loops.
 #
 # Usage: tools/run_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -13,7 +14,7 @@ build_dir=build-tsan
 cmake -B "${build_dir}" -S . -DRIHGCN_SANITIZE=thread >/dev/null
 cmake --build "${build_dir}" -j --target rihgcn_tests
 
-filter="${1:-ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*}"
+filter="${1:-ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*:CsrStructure*:CsrSpmm*:*SparseAndDenseTraining*}"
 
 TSAN_OPTIONS="halt_on_error=1" \
 RIHGCN_THREADS=4 \
