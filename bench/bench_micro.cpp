@@ -391,7 +391,12 @@ void run_sparse_sweep(const bench::BenchOptions& opts,
 }
 
 // End-to-end view: one RIHGCN train step (forward + backward) with the
-// sparse backend on vs off, same parameters and data.
+// sparse backend on vs off and the fused recurrent cells on vs off, same
+// parameters and data. The step runs on a hoisted arena tape (reset() per
+// step, as the trainer does), so the rows also carry the tape-arena health
+// metrics of DESIGN.md §10: graph size in nodes ("tape_nodes_*", node count
+// stored in ns_per_op) and steady-state pool misses per step
+// ("pool_steady_allocs" — 0 means every buffer of a warm step is recycled).
 void run_train_step_compare(const bench::BenchOptions& opts,
                             std::vector<bench::MicroResult>& results) {
   constexpr std::size_t kNodes = 256;
@@ -423,31 +428,62 @@ void run_train_step_compare(const bench::BenchOptions& opts,
         graph::sparsity_stats(graphs.geographic().scaled_laplacian());
     density = stats.density;
   }
+  struct StepConfig {
+    const char* name;
+    bool sparse;
+    bool fused;
+  };
+  constexpr StepConfig kConfigs[] = {
+      {"train_step_dense", false, true},
+      {"train_step_sparse", true, true},
+      {"train_step_unfused", true, false},  // sparse, elementary-op cells
+  };
   for (const std::size_t threads : {1, 4}) {
     ThreadPool::set_global_threads(threads);
-    double ns[2] = {0.0, 0.0};
-    for (const bool sparse : {false, true}) {
+    double base_ns = 0.0;
+    for (const StepConfig& sc : kConfigs) {
       core::RihgcnConfig mc;
       mc.lookback = 6;
       mc.horizon = 3;
       mc.gcn_dim = 8;
       mc.lstm_dim = 8;
-      mc.use_sparse_graphs = sparse;
+      mc.use_sparse_graphs = sc.sparse;
+      mc.use_fused_cells = sc.fused;
       core::RihgcnModel model(graphs, kNodes, ds.num_features(), mc);
-      ns[sparse ? 1 : 0] = time_ns_per_op([&] {
+      ad::Tape tape;  // arena, reused per step like the training loop
+      auto step = [&] {
         for (ad::Parameter* p : model.parameters()) p->zero_grad();
-        ad::Tape tape;
+        tape.reset();
         ad::Var loss = model.training_loss(tape, w);
         tape.backward(loss);
         benchmark::DoNotOptimize(loss);
-      });
-      results.push_back({sparse ? "train_step_sparse" : "train_step_dense",
-                         kNodes, density, ns[sparse ? 1 : 0], threads});
+      };
+      const double ns = time_ns_per_op(step);
+      results.push_back({sc.name, kNodes, density, ns, threads});
+      if (&sc == &kConfigs[0]) base_ns = ns;
+      std::printf("%-18s %8zu %14.0f %8.2fx\n", sc.name, threads, ns,
+                  base_ns / ns);
+      if (threads == 1 && sc.sparse) {
+        // Arena health (time_ns_per_op already warmed the pool): tape size
+        // and pool misses of one more steady-state step.
+        const std::size_t misses_before = tape.pool().misses();
+        step();
+        const auto nodes = static_cast<double>(tape.num_nodes());
+        const auto allocs =
+            static_cast<double>(tape.pool().misses() - misses_before);
+        results.push_back({sc.fused ? "tape_nodes_fused" : "tape_nodes_unfused",
+                           kNodes, density, nodes, threads});
+        std::printf("  %-16s %24.0f nodes\n",
+                    sc.fused ? "tape_nodes_fused" : "tape_nodes_unfused",
+                    nodes);
+        if (sc.fused) {
+          results.push_back(
+              {"pool_steady_allocs", kNodes, density, allocs, threads});
+          std::printf("  %-16s %24.0f allocs/step\n", "pool_steady_allocs",
+                      allocs);
+        }
+      }
     }
-    std::printf("%-18s %8zu %14.0f %9s\n", "train_step_dense", threads, ns[0],
-                "1.00x");
-    std::printf("%-18s %8zu %14.0f %8.2fx\n", "train_step_sparse", threads,
-                ns[1], ns[0] / ns[1]);
   }
   ThreadPool::set_global_threads(0);
 }

@@ -63,8 +63,8 @@ Var FcLstmModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix FcLstmModel::predict(const data::Window& w) {
-  Tape tape;
-  return tape.value(forward(tape, w));
+  scratch_tape_.reset();
+  return scratch_tape_.value(forward(scratch_tape_, w));
 }
 
 // ---- FcGcnModel -------------------------------------------------------------
@@ -100,8 +100,8 @@ Var FcGcnModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix FcGcnModel::predict(const data::Window& w) {
-  Tape tape;
-  return tape.value(forward(tape, w));
+  scratch_tape_.reset();
+  return scratch_tape_.value(forward(scratch_tape_, w));
 }
 
 // ---- GcnLstmModel -----------------------------------------------------------
@@ -144,8 +144,8 @@ Var GcnLstmModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix GcnLstmModel::predict(const data::Window& w) {
-  Tape tape;
-  return tape.value(forward(tape, w));
+  scratch_tape_.reset();
+  return scratch_tape_.value(forward(scratch_tape_, w));
 }
 
 // ---- FcLstmIModel ----------------------------------------------------------
@@ -267,13 +267,13 @@ Var FcLstmIModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix FcLstmIModel::predict(const data::Window& w) {
-  Tape tape;
-  return tape.value(forward(tape, w).prediction);
+  scratch_tape_.reset();
+  return scratch_tape_.value(forward(scratch_tape_, w).prediction);
 }
 
 std::vector<Matrix> FcLstmIModel::impute(const data::Window& w) {
-  Tape tape;
-  return std::move(forward(tape, w).complement);
+  scratch_tape_.reset();
+  return std::move(forward(scratch_tape_, w).complement);
 }
 
 // ---- FcGcnIModel -------------------------------------------------------------
@@ -391,13 +391,13 @@ Var FcGcnIModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix FcGcnIModel::predict(const data::Window& w) {
-  Tape tape;
-  return tape.value(forward(tape, w).prediction);
+  scratch_tape_.reset();
+  return scratch_tape_.value(forward(scratch_tape_, w).prediction);
 }
 
 std::vector<Matrix> FcGcnIModel::impute(const data::Window& w) {
-  Tape tape;
-  return std::move(forward(tape, w).complement);
+  scratch_tape_.reset();
+  return std::move(forward(scratch_tape_, w).complement);
 }
 
 // ---- AstGcnModel ----------------------------------------------------------
@@ -463,8 +463,8 @@ Var AstGcnModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix AstGcnModel::predict(const data::Window& w) {
-  Tape tape;
-  return tape.value(forward(tape, w));
+  scratch_tape_.reset();
+  return scratch_tape_.value(forward(scratch_tape_, w));
 }
 
 // ---- GraphWaveNetModel ------------------------------------------------------
@@ -554,8 +554,8 @@ Var GraphWaveNetModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix GraphWaveNetModel::predict(const data::Window& w) {
-  Tape tape;
-  return tape.value(forward(tape, w));
+  scratch_tape_.reset();
+  return scratch_tape_.value(forward(scratch_tape_, w));
 }
 
 }  // namespace rihgcn::baselines

@@ -64,6 +64,7 @@ class FcLstmModel final : public core::ForecastModel {
   Rng rng_;
   nn::LstmCell lstm_;
   nn::Linear head_;
+  Tape scratch_tape_;  ///< reused across predict() calls via Tape::reset()
 };
 
 class FcGcnModel final : public core::ForecastModel {
@@ -83,6 +84,7 @@ class FcGcnModel final : public core::ForecastModel {
   Rng rng_;
   nn::ChebGcnLayer gcn_;
   nn::Linear head_;
+  Tape scratch_tape_;  ///< reused across predict() calls via Tape::reset()
 };
 
 class GcnLstmModel final : public core::ForecastModel {
@@ -102,6 +104,7 @@ class GcnLstmModel final : public core::ForecastModel {
   nn::ChebGcnLayer gcn_;
   nn::LstmCell lstm_;
   nn::Linear head_;
+  Tape scratch_tape_;  ///< reused across predict() calls via Tape::reset()
 };
 
 // ---- Recurrent-imputation variants -------------------------------------------
@@ -137,6 +140,7 @@ class FcLstmIModel final : public core::ForecastModel {
   nn::Linear est_f_;
   nn::Linear est_b_;
   nn::Linear head_;
+  Tape scratch_tape_;  ///< reused across predict()/impute() via Tape::reset()
 };
 
 class FcGcnIModel final : public core::ForecastModel {
@@ -171,6 +175,7 @@ class FcGcnIModel final : public core::ForecastModel {
   nn::Linear est_f_;
   nn::Linear est_b_;
   nn::Linear head_;
+  Tape scratch_tape_;  ///< reused across predict()/impute() via Tape::reset()
 };
 
 // ---- Attention / TCN baselines -----------------------------------------------
@@ -195,6 +200,7 @@ class AstGcnModel final : public core::ForecastModel {
   nn::ChebGcnLayer gcn_;
   nn::Linear temporal_score_;
   nn::Linear head_;
+  Tape scratch_tape_;  ///< reused across predict() calls via Tape::reset()
 };
 
 class GraphWaveNetModel final : public core::ForecastModel {
@@ -222,6 +228,7 @@ class GraphWaveNetModel final : public core::ForecastModel {
   nn::Linear spatial1_;
   nn::Linear spatial2_;
   nn::Linear head_;
+  Tape scratch_tape_;  ///< reused across predict() calls via Tape::reset()
 };
 
 }  // namespace rihgcn::baselines

@@ -153,6 +153,8 @@ RihgcnModel::RihgcnModel(const HeterogeneousGraphs& graphs,
     sparse_laps_ =
         hgcn_.make_sparse_laps(/*tol=*/0.0, config_.sparse_density_limit);
   }
+  rnn_fwd_->set_fused(config_.use_fused_cells);
+  rnn_bwd_->set_fused(config_.use_fused_cells);
 }
 
 std::vector<ad::Parameter*> RihgcnModel::parameters() {
@@ -336,14 +338,14 @@ Var RihgcnModel::training_loss(Tape& tape, const data::Window& w) {
 }
 
 Matrix RihgcnModel::predict(const data::Window& w) {
-  Tape tape;
-  ForwardOutput out = forward(tape, w);
-  return tape.value(out.prediction);
+  scratch_tape_.reset();
+  ForwardOutput out = forward(scratch_tape_, w);
+  return scratch_tape_.value(out.prediction);
 }
 
 std::vector<Matrix> RihgcnModel::impute(const data::Window& w) {
-  Tape tape;
-  ForwardOutput out = forward(tape, w);
+  scratch_tape_.reset();
+  ForwardOutput out = forward(scratch_tape_, w);
   return std::move(out.complement);
 }
 

@@ -118,6 +118,10 @@ struct RihgcnConfig {
   /// Per-graph dense fallback: graphs denser than this stay on the dense
   /// kernels even when use_sparse_graphs is on.
   double sparse_density_limit = 0.5;
+  /// Route the recurrent cells through the fused Tape::lstm_cell/gru_cell
+  /// kernels (3 tape nodes per step instead of ~17). Bitwise identical to
+  /// the unfused elementary-op chain; off is for differential testing.
+  bool use_fused_cells = true;
   std::uint64_t seed = 7;
   /// Reported name — lets ablation variants (e.g. "GCN-LSTM-I" with zero
   /// temporal graphs) appear under the paper's method names.
@@ -177,6 +181,10 @@ class RihgcnModel : public ForecastModel {
   nn::Linear est_bwd_;
   nn::Linear head_;
   nn::Linear attn_score_;
+  /// Scratch tape for predict()/impute(): reset() between calls keeps the
+  /// node vector and the buffer pool warm, so steady-state inference does
+  /// no heap allocation (DESIGN.md §10).
+  ad::Tape scratch_tape_;
 };
 
 }  // namespace rihgcn::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -28,16 +29,21 @@ std::vector<std::size_t> subsample(const std::vector<std::size_t>& all,
 }
 
 /// Forward/backward over batch windows [pos, batch_end) using `workers`
-/// threads, each with a private gradient sink; sinks reduce into the
-/// parameters in worker order. Returns the summed batch loss.
+/// threads, each with a private gradient sink and a private arena tape from
+/// `tapes` (reused via reset() across windows and batches); sinks reduce
+/// into the parameters in worker order. Returns the summed batch loss.
 double parallel_batch_gradients(ForecastModel& model,
                                 const data::WindowSampler& sampler,
                                 const std::vector<std::size_t>& train_idx,
                                 const std::vector<std::size_t>& order,
                                 std::size_t pos, std::size_t batch_end,
-                                std::size_t workers) {
+                                std::size_t workers,
+                                std::vector<std::unique_ptr<ad::Tape>>& tapes) {
   const std::size_t count = batch_end - pos;
   workers = std::min(workers, count);
+  while (tapes.size() < workers) {
+    tapes.push_back(std::make_unique<ad::Tape>());
+  }
   std::vector<ad::Tape::GradSink> sinks(workers);
   std::vector<double> losses(workers, 0.0);
   std::vector<std::exception_ptr> errors(workers);
@@ -49,7 +55,8 @@ double parallel_batch_gradients(ForecastModel& model,
         // Contiguous slice per worker: deterministic assignment.
         for (std::size_t b = pos + w; b < batch_end; b += workers) {
           const data::Window window = sampler.make_window(train_idx[order[b]]);
-          ad::Tape tape;
+          ad::Tape& tape = *tapes[w];
+          tape.reset();
           ad::Var loss = model.training_loss(tape, window);
           losses[w] += tape.value(loss)(0, 0);
           tape.backward_into(loss, sinks[w]);
@@ -95,6 +102,12 @@ TrainReport train_model(ForecastModel& model,
 
   TrainReport report;
   std::vector<Matrix> best_snapshot = nn::snapshot_values(params);
+  // Arena tapes, hoisted out of the epoch/batch loops: reset() recycles node
+  // slots and Matrix buffers, so steady-state training steps allocate
+  // (almost) nothing (DESIGN.md §10). One tape per worker in the parallel
+  // path; the serial path uses the first.
+  ad::Tape serial_tape;
+  std::vector<std::unique_ptr<ad::Tape>> worker_tapes;
   for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
     // ---- One training epoch ---------------------------------------------
     std::vector<std::size_t> order = rng.permutation(train_idx.size());
@@ -109,15 +122,15 @@ TrainReport train_model(ForecastModel& model,
       if (config.num_threads <= 1) {
         for (std::size_t b = pos; b < batch_end; ++b) {
           const data::Window w = sampler.make_window(train_idx[order[b]]);
-          ad::Tape tape;
-          ad::Var loss = model.training_loss(tape, w);
-          batch_loss += tape.value(loss)(0, 0);
-          tape.backward(loss);
+          serial_tape.reset();
+          ad::Var loss = model.training_loss(serial_tape, w);
+          batch_loss += serial_tape.value(loss)(0, 0);
+          serial_tape.backward(loss);
         }
       } else {
         batch_loss = parallel_batch_gradients(
             model, sampler, train_idx, order, pos, batch_end,
-            config.num_threads);
+            config.num_threads, worker_tapes);
       }
       // Average the accumulated gradient over the batch.
       const double inv = 1.0 / static_cast<double>(batch_end - pos);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "tensor/parallel.hpp"
 
@@ -121,10 +122,18 @@ Matrix CsrMatrix::to_dense() const {
 }
 
 Matrix spmm(const CsrMatrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) throw_spmm_shape("spmm", a, a.cols(), b);
   Matrix out(a.rows(), b.cols());
+  spmm_accumulate(a, b, out);
+  return out;
+}
+
+void spmm_accumulate(const CsrMatrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows()) throw_spmm_shape("spmm", a, a.cols(), b);
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    throw std::invalid_argument("spmm_accumulate: output shape mismatch");
+  }
   const std::size_t m = b.cols();
-  if (a.rows() == 0 || m == 0 || a.nnz() == 0) return out;
+  if (a.rows() == 0 || m == 0 || a.nnz() == 0) return;
   const std::size_t* ptr = a.row_ptr_.data();
   const std::size_t* idx = a.col_idx_.data();
   const double* val = a.vals_.data();
@@ -134,14 +143,21 @@ Matrix spmm(const CsrMatrix& a, const Matrix& b) {
                [ptr, idx, val, bp, cp, m](std::size_t i0, std::size_t i1) {
                  spmm_rows(ptr, idx, val, bp, cp, m, i0, i1);
                });
-  return out;
 }
 
 Matrix spmm_t(const CsrMatrix& a, const Matrix& b) {
-  if (a.rows() != b.rows()) throw_spmm_shape("spmm_t", a, a.rows(), b);
   Matrix out(a.cols(), b.cols());
+  spmm_t_accumulate(a, b, out);
+  return out;
+}
+
+void spmm_t_accumulate(const CsrMatrix& a, const Matrix& b, Matrix& out) {
+  if (a.rows() != b.rows()) throw_spmm_shape("spmm_t", a, a.rows(), b);
+  if (out.rows() != a.cols() || out.cols() != b.cols()) {
+    throw std::invalid_argument("spmm_t_accumulate: output shape mismatch");
+  }
   const std::size_t m = b.cols();
-  if (a.cols() == 0 || m == 0 || a.nnz() == 0) return out;
+  if (a.cols() == 0 || m == 0 || a.nnz() == 0) return;
   const std::size_t* ptr = a.t_row_ptr_.data();
   const std::size_t* idx = a.t_col_idx_.data();
   const double* val = a.t_vals_.data();
@@ -151,7 +167,6 @@ Matrix spmm_t(const CsrMatrix& a, const Matrix& b) {
                [ptr, idx, val, bp, cp, m](std::size_t i0, std::size_t i1) {
                  spmm_rows(ptr, idx, val, bp, cp, m, i0, i1);
                });
-  return out;
 }
 
 }  // namespace rihgcn

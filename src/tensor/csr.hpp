@@ -70,6 +70,9 @@ class CsrMatrix {
 
   friend Matrix spmm(const CsrMatrix& a, const Matrix& b);
   friend Matrix spmm_t(const CsrMatrix& a, const Matrix& b);
+  friend void spmm_accumulate(const CsrMatrix& a, const Matrix& b, Matrix& out);
+  friend void spmm_t_accumulate(const CsrMatrix& a, const Matrix& b,
+                                Matrix& out);
 
  private:
   std::size_t rows_ = 0;
@@ -88,8 +91,14 @@ class CsrMatrix {
 
 /// C = A · B with A sparse (rows x k) and B dense (k x m).
 [[nodiscard]] Matrix spmm(const CsrMatrix& a, const Matrix& b);
+/// C += A · B into a preallocated output; zero `out` first for the plain
+/// product. Same per-element accumulation order as spmm.
+void spmm_accumulate(const CsrMatrix& a, const Matrix& b, Matrix& out);
 /// C = Aᵀ · B without materializing the transpose (uses the stored
 /// transposed structure) — the backward kernel for Tape::spmm.
 [[nodiscard]] Matrix spmm_t(const CsrMatrix& a, const Matrix& b);
+/// C += Aᵀ · B into a preallocated output; zero `out` first for the plain
+/// product.
+void spmm_t_accumulate(const CsrMatrix& a, const Matrix& b, Matrix& out);
 
 }  // namespace rihgcn

@@ -410,8 +410,16 @@ void matmul_naive(const Matrix& a, const Matrix& b, Matrix& out) {
 }  // namespace detail
 
 Matrix matmul_bt(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.cols()) throw_shape("matmul_bt", a, b);
   Matrix out(a.rows(), b.rows());
+  matmul_bt_into(a, b, out);
+  return out;
+}
+
+void matmul_bt_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.cols()) throw_shape("matmul_bt", a, b);
+  if (out.rows() != a.rows() || out.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_bt_into: output shape mismatch");
+  }
   const std::size_t k = a.cols();
   const std::size_t rows = a.rows();
   const std::size_t cols = b.rows();
@@ -432,12 +440,19 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
                }
              }
            });
-  return out;
 }
 
 Matrix matmul_at(const Matrix& a, const Matrix& b) {
-  if (a.rows() != b.rows()) throw_shape("matmul_at", a, b);
   Matrix out(a.cols(), b.cols());
+  matmul_at_accumulate(a, b, out);
+  return out;
+}
+
+void matmul_at_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.rows() != b.rows()) throw_shape("matmul_at", a, b);
+  if (out.rows() != a.cols() || out.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_at_accumulate: output shape mismatch");
+  }
   const std::size_t n = a.rows();
   const std::size_t p = a.cols();
   const std::size_t m = b.cols();
@@ -458,7 +473,6 @@ Matrix matmul_at(const Matrix& a, const Matrix& b) {
       }
     }
   });
-  return out;
 }
 
 Matrix operator+(const Matrix& a, const Matrix& b) {

@@ -206,12 +206,31 @@ std::atomic<ThreadPool*> g_pool{nullptr};
 
 }  // namespace
 
+namespace {
+
+// Oversubscribing the machine is never a win for these compute-bound
+// kernels: with more workers than cores the chunked loops just pay context
+// switches (BENCH_micro.json showed cheb_dense N=1024 at 15.1 ms with 4
+// requested threads vs 8.8 ms with 1 on a single-core host). Requests for
+// the shared global pool are therefore clamped to the hardware; direct
+// ThreadPool(n) construction stays uncapped so tests can still exercise
+// real multi-worker pools.
+std::size_t capped_global_size(std::size_t requested) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cap = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  if (requested == 0) requested = 1;
+  return requested < cap ? requested : cap;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
   ThreadPool* p = g_pool.load(std::memory_order_acquire);
   if (p != nullptr) return *p;
   std::lock_guard<std::mutex> lk(g_pool_mutex);
   if (!g_pool_owner) {
-    g_pool_owner = std::make_unique<ThreadPool>(threads_from_env());
+    g_pool_owner =
+        std::make_unique<ThreadPool>(capped_global_size(threads_from_env()));
     g_pool.store(g_pool_owner.get(), std::memory_order_release);
   }
   return *g_pool_owner;
@@ -221,8 +240,8 @@ void ThreadPool::set_global_threads(std::size_t n) {
   std::lock_guard<std::mutex> lk(g_pool_mutex);
   g_pool.store(nullptr, std::memory_order_release);
   g_pool_owner.reset();  // joins the old pool's workers
-  g_pool_owner =
-      std::make_unique<ThreadPool>(n == 0 ? threads_from_env() : n);
+  g_pool_owner = std::make_unique<ThreadPool>(
+      capped_global_size(n == 0 ? threads_from_env() : n));
   g_pool.store(g_pool_owner.get(), std::memory_order_release);
 }
 

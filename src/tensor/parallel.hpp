@@ -80,10 +80,14 @@ class ThreadPool {
   [[nodiscard]] static bool in_parallel_region() noexcept;
 
   /// Process-wide pool, created on first use with threads_from_env().
+  /// Its size is clamped to hardware_concurrency: oversubscription only
+  /// adds context-switch cost for these compute-bound kernels. Direct
+  /// ThreadPool(n) construction is not clamped.
   [[nodiscard]] static ThreadPool& global();
   /// Replace the global pool with one of `n` threads (0 = re-read the
-  /// environment). Callers must quiesce kernel activity first: the old pool
-  /// is joined and destroyed. Intended for tests and benchmarks.
+  /// environment; the hardware_concurrency clamp applies either way).
+  /// Callers must quiesce kernel activity first: the old pool is joined
+  /// and destroyed. Intended for tests and benchmarks.
   static void set_global_threads(std::size_t n);
   /// RIHGCN_THREADS if set to a positive integer, else hardware concurrency.
   [[nodiscard]] static std::size_t threads_from_env() noexcept;

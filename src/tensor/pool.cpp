@@ -1,0 +1,36 @@
+#include "tensor/pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rihgcn {
+
+Matrix BufferPool::acquire(std::size_t rows, std::size_t cols) {
+  const std::size_t elems = rows * cols;
+  if (elems == 0) return Matrix(rows, cols);
+  auto it = buckets_.find(elems);
+  if (it != buckets_.end() && !it->second.empty()) {
+    ++hits_;
+    std::vector<double> storage = std::move(it->second.back());
+    it->second.pop_back();
+    std::fill(storage.begin(), storage.end(), 0.0);
+    return Matrix(rows, cols, std::move(storage));
+  }
+  ++misses_;
+  return Matrix(rows, cols);
+}
+
+void BufferPool::release(Matrix&& m) {
+  if (m.empty()) return;
+  buckets_[m.size()].push_back(std::move(m.storage()));
+}
+
+void BufferPool::clear() { buckets_.clear(); }
+
+std::size_t BufferPool::pooled_buffers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [elems, bucket] : buckets_) n += bucket.size();
+  return n;
+}
+
+}  // namespace rihgcn

@@ -117,6 +117,16 @@ TEST(ThreadPool, ThreadsFromEnvRejectsInvalidValues) {
   }
 }
 
+TEST(ThreadPool, GlobalPoolIsCappedAtHardwareConcurrency) {
+  // Oversubscribing the shared pool only adds contention; requests beyond
+  // the core count are clamped. (Direct ThreadPool(n) stays uncapped.)
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool::set_global_threads(4096);
+  EXPECT_LE(ThreadPool::global().num_threads(), hw);
+  ThreadPool::set_global_threads(0);
+}
+
 TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 1013;  // prime: uneven final chunk
