@@ -10,6 +10,7 @@
 // honors --json=PATH for machine-readable results (tools/run_bench.sh).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -334,20 +335,28 @@ SweepGraph make_sweep_graph(std::size_t n) {
   return g;
 }
 
-// Median-free quick timer: grows the iteration count until the measured
-// window is long enough to trust, then reports ns per call.
+// Quick timer: grows the iteration count until the measured window is long
+// enough to trust, then reports the best of three windows. The minimum (not
+// the mean) is the right statistic here: interference from the rest of the
+// box only ever adds time, so the fastest window is the closest estimate of
+// the true cost — a single window can easily read 5-10% high.
 template <typename F>
 double time_ns_per_op(F&& f) {
   f();  // warmup
-  std::size_t iters = 1;
-  for (;;) {
+  const auto window_sec = [&f](std::size_t iters) {
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < iters; ++i) f();
-    const double sec =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    if (sec > 0.2 || iters >= (1u << 22)) return sec * 1e9 /
-                                                 static_cast<double>(iters);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  std::size_t iters = 1;
+  for (;;) {
+    double sec = window_sec(iters);
+    if (sec > 0.2 || iters >= (1u << 22)) {
+      sec = std::min(sec, window_sec(iters));
+      sec = std::min(sec, window_sec(iters));
+      return sec * 1e9 / static_cast<double>(iters);
+    }
     iters *= 4;
   }
 }
@@ -432,11 +441,16 @@ void run_train_step_compare(const bench::BenchOptions& opts,
     const char* name;
     bool sparse;
     bool fused;
+    bool guarded;
   };
   constexpr StepConfig kConfigs[] = {
-      {"train_step_dense", false, true},
-      {"train_step_sparse", true, true},
-      {"train_step_unfused", true, false},  // sparse, elementary-op cells
+      {"train_step_dense", false, true, false},
+      {"train_step_sparse", true, true, false},
+      {"train_step_unfused", true, false, false},  // sparse, elementary cells
+      // Identical compute to train_step_sparse plus the NumericalGuard's
+      // per-step work (loss/grad scan, EMA update, snapshot cadence) — the
+      // fault-tolerance overhead budget is <= 5% of train_step_sparse @ 1T.
+      {"train_step_guarded", true, true, true},
   };
   for (const std::size_t threads : {1, 4}) {
     ThreadPool::set_global_threads(threads);
@@ -450,12 +464,19 @@ void run_train_step_compare(const bench::BenchOptions& opts,
       mc.use_sparse_graphs = sc.sparse;
       mc.use_fused_cells = sc.fused;
       core::RihgcnModel model(graphs, kNodes, ds.num_features(), mc);
+      std::vector<ad::Parameter*> params = model.parameters();
+      nn::AdamOptimizer opt(params);
+      core::NumericalGuard guard(params, opt, core::GuardConfig{});
       ad::Tape tape;  // arena, reused per step like the training loop
       auto step = [&] {
         for (ad::Parameter* p : model.parameters()) p->zero_grad();
         tape.reset();
         ad::Var loss = model.training_loss(tape, w);
         tape.backward(loss);
+        if (sc.guarded) {
+          benchmark::DoNotOptimize(guard.inspect(tape.value(loss)(0, 0)));
+          guard.after_step();
+        }
         benchmark::DoNotOptimize(loss);
       };
       const double ns = time_ns_per_op(step);
@@ -463,7 +484,7 @@ void run_train_step_compare(const bench::BenchOptions& opts,
       if (&sc == &kConfigs[0]) base_ns = ns;
       std::printf("%-18s %8zu %14.0f %8.2fx\n", sc.name, threads, ns,
                   base_ns / ns);
-      if (threads == 1 && sc.sparse) {
+      if (threads == 1 && sc.sparse && !sc.guarded) {
         // Arena health (time_ns_per_op already warmed the pool): tape size
         // and pool misses of one more steady-state step.
         const std::size_t misses_before = tape.pool().misses();

@@ -1,12 +1,17 @@
 // Live forecasting service — simulates the deployment loop the paper's
 // abstract targets: a trained RIHGCN behind an OnlineForecaster, fed a
-// stream of partial readings (including a complete feed outage), serving
-// next-hour forecasts and completed history on demand.
+// stream of partial readings (including a complete feed outage, a sensor
+// emitting NaN, and a sensor stuck on one value), serving next-hour
+// forecasts and completed history on demand. A HistoricalAverage fallback
+// (set_fallback) covers the degraded path, and the run ends with the
+// HealthReport an ops dashboard would scrape.
 //
 // Also prints the model-summary parameter inventory, the kind of artifact
 // an ops team wants in the service logs at startup.
 #include <cstdio>
+#include <limits>
 
+#include "baselines/classical.hpp"
 #include "core/online.hpp"
 #include "core/rihgcn.hpp"
 #include "core/trainer.hpp"
@@ -55,6 +60,12 @@ int main() {
                                  ds.num_features(), mc.lookback, mc.horizon,
                                  ds.steps_per_day,
                                  stream_start % ds.steps_per_day);
+  // Degraded-path insurance: if the primary ever throws or emits a
+  // non-finite forecast, serve the historical time-of-day average instead.
+  baselines::HistoricalAverageModel ha(norm, train_end, mc.lookback,
+                                       mc.horizon);
+  service.set_fallback(&ha);
+  service.set_stuck_threshold(4);
   std::printf("service started at slot %zu (%.1f h)\n", service.next_slot(),
               static_cast<double>(service.next_slot()) * 24.0 /
                   static_cast<double>(ds.steps_per_day));
@@ -64,7 +75,21 @@ int main() {
     if (tick >= 6 && tick < 9) {
       service.push_gap();  // total feed outage for 3 ticks
     } else {
-      service.push_reading(ds.truth[t], ds.mask[t]);
+      // A misbehaving field deployment: sensor #1 emits NaN for a stretch
+      // and sensor #2's register freezes — both while the feed still claims
+      // the readings are valid. Ingest sanitization + stuck detection demote
+      // them to missing; the imputation machinery absorbs the rest.
+      Matrix values = ds.truth[t];
+      Matrix mask = ds.mask[t];
+      if (tick >= 2 && tick < 5) {
+        values(1, 0) = std::numeric_limits<double>::quiet_NaN();
+        mask(1, 0) = 1.0;
+      }
+      if (tick >= 2) {
+        values(2, 0) = 42.0;  // frozen register
+        mask(2, 0) = 1.0;
+      }
+      service.push_reading(values, mask);
     }
     if (tick < 1) continue;  // need at least one reading for a forecast
     if (tick % 4 == 3) {
@@ -85,5 +110,24 @@ int main() {
               history.size());
   for (const Matrix& h : history) std::printf("%5.1f ", h(0, 0));
   std::printf("\n(the outage ticks above were imputed by the model)\n");
+
+  // ---- Serving health ------------------------------------------------------
+  const core::HealthReport hr = service.health();
+  std::printf("\nhealth report:\n");
+  std::printf("  readings seen        %zu\n", hr.readings_seen);
+  std::printf("  buffer coverage      %.0f%%\n", 100.0 * hr.buffer_coverage);
+  std::printf("  sanitized entries    %zu (non-finite readings -> missing)\n",
+              hr.sanitized_entries);
+  std::printf("  coerced mask entries %zu\n", hr.coerced_mask_entries);
+  std::printf("  stuck demotions      %zu\n", hr.stuck_demotions);
+  std::printf("  forecasts            %zu model / %zu fallback (%zu scrubbed)\n",
+              hr.model_forecasts, hr.fallback_forecasts, hr.scrubbed_outputs);
+  std::printf("  suspect sensors      ");
+  if (hr.suspect_sensors.empty()) {
+    std::printf("none");
+  } else {
+    for (std::size_t i : hr.suspect_sensors) std::printf("#%zu ", i);
+  }
+  std::printf("\n");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/online.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
@@ -20,7 +21,10 @@ OnlineForecaster::OnlineForecaster(ForecastModel& model,
       lookback_(lookback),
       horizon_(horizon),
       steps_per_day_(steps_per_day),
-      start_slot_(start_slot % std::max<std::size_t>(1, steps_per_day)) {
+      start_slot_(start_slot % std::max<std::size_t>(1, steps_per_day)),
+      last_value_(num_nodes, 0.0),
+      repeat_runs_(num_nodes, 0),
+      stuck_(num_nodes, false) {
   if (num_nodes == 0 || num_features == 0 || lookback == 0 || horizon == 0 ||
       steps_per_day == 0) {
     throw std::invalid_argument("OnlineForecaster: zero dimension");
@@ -32,16 +36,66 @@ void OnlineForecaster::push_reading(const Matrix& values, const Matrix& mask) {
       !values.same_shape(mask)) {
     throw ShapeError("OnlineForecaster::push_reading: shape mismatch");
   }
+  // Sanitize on ingest: a live feed can carry NaN/Inf where a well-behaved
+  // one would report a gap, and mask bits arrive as arbitrary doubles.
+  // Corrupt entries are demoted to missing — the imputation machinery then
+  // treats them exactly like any other gap — and never stored.
   Matrix normalized(num_nodes_, num_features_);
+  Matrix clean_mask(num_nodes_, num_features_);
   for (std::size_t i = 0; i < num_nodes_; ++i) {
     for (std::size_t f = 0; f < num_features_; ++f) {
-      normalized(i, f) = mask(i, f) > 0.5
-                             ? normalizer_.normalize_value(values(i, f), f)
-                             : 0.0;
+      const double m = mask(i, f);
+      bool observed;
+      if (std::isfinite(m) && (m == 0.0 || m == 1.0)) {
+        observed = m > 0.5;
+      } else {
+        ++coerced_mask_entries_;
+        observed = std::isfinite(m) && m > 0.5;
+      }
+      if (observed && !std::isfinite(values(i, f))) {
+        observed = false;
+        ++sanitized_entries_;
+      }
+      double z = 0.0;
+      if (observed) {
+        z = normalizer_.normalize_value(values(i, f), f);
+        if (!std::isfinite(z)) {  // degenerate normalizer stats
+          observed = false;
+          z = 0.0;
+          ++sanitized_entries_;
+        }
+      }
+      clean_mask(i, f) = observed ? 1.0 : 0.0;
+      normalized(i, f) = z;
+    }
+  }
+  // Stuck-at detection on the target feature: a sensor repeating one exact
+  // value for `stuck_threshold_` consecutive observed readings is flagged
+  // and its readings demoted to missing until the value moves again (real
+  // traffic always jitters; a frozen register does not).
+  if (stuck_threshold_ > 0) {
+    for (std::size_t i = 0; i < num_nodes_; ++i) {
+      if (clean_mask(i, 0) <= 0.5) continue;
+      const double v = values(i, 0);
+      if (repeat_runs_[i] > 0 && v == last_value_[i]) {
+        ++repeat_runs_[i];
+      } else {
+        repeat_runs_[i] = 1;
+        last_value_[i] = v;
+        stuck_[i] = false;
+      }
+      if (repeat_runs_[i] >= stuck_threshold_) stuck_[i] = true;
+      if (stuck_[i]) {
+        for (std::size_t f = 0; f < num_features_; ++f) {
+          clean_mask(i, f) = 0.0;
+          normalized(i, f) = 0.0;
+        }
+        ++stuck_demotions_;
+      }
     }
   }
   values_.push_back(std::move(normalized));
-  masks_.push_back(mask);
+  masks_.push_back(std::move(clean_mask));
   if (values_.size() > lookback_) {
     values_.pop_front();
     masks_.pop_front();
@@ -88,9 +142,50 @@ data::Window OnlineForecaster::make_window() const {
   return w;
 }
 
+Matrix OnlineForecaster::robust_predict(const data::Window& w) {
+  Matrix pred;
+  bool primary_ok = false;
+  try {
+    pred = model_.predict(w);
+    primary_ok = pred.rows() == num_nodes_ && pred.cols() == horizon_ &&
+                 !pred.has_non_finite();
+  } catch (const std::exception&) {
+    // A throwing primary with no fallback is unrecoverable — surface it.
+    if (fallback_ == nullptr) throw;
+  }
+  if (primary_ok) {
+    ++model_forecasts_;
+    return pred;
+  }
+  ++fallback_forecasts_;
+  if (fallback_ != nullptr) {
+    try {
+      Matrix fb = fallback_->predict(w);
+      if (fb.rows() == num_nodes_ && fb.cols() == horizon_) {
+        pred = std::move(fb);
+      }
+    } catch (const std::exception&) {
+      // Both models failed; fall through to the scrubbed primary output
+      // (or zeros if the primary threw too).
+    }
+  }
+  if (pred.rows() != num_nodes_ || pred.cols() != horizon_) {
+    pred = Matrix(num_nodes_, horizon_);  // zeros = historical mean
+  }
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    for (std::size_t h = 0; h < pred.cols(); ++h) {
+      if (!std::isfinite(pred(i, h))) {
+        pred(i, h) = 0.0;  // normalized-space historical mean
+        ++scrubbed_outputs_;
+      }
+    }
+  }
+  return pred;
+}
+
 Matrix OnlineForecaster::forecast() {
   const data::Window w = make_window();
-  Matrix pred = model_.predict(w);
+  Matrix pred = robust_predict(w);
   for (std::size_t i = 0; i < pred.rows(); ++i) {
     for (std::size_t h = 0; h < pred.cols(); ++h) {
       pred(i, h) = normalizer_.denormalize(pred(i, h), 0);
@@ -102,19 +197,53 @@ Matrix OnlineForecaster::forecast() {
 std::vector<Matrix> OnlineForecaster::completed_history() {
   const data::Window w = make_window();
   std::vector<Matrix> filled = model_.impute(w);
-  // Drop the warm-up padding; denormalize the real part.
+  // Drop the warm-up padding; scrub and denormalize the real part.
   const std::size_t pad = lookback_ - values_.size();
   std::vector<Matrix> out;
   for (std::size_t k = pad; k < filled.size(); ++k) {
     Matrix m = filled[k];
     for (std::size_t i = 0; i < m.rows(); ++i) {
       for (std::size_t f = 0; f < m.cols(); ++f) {
+        if (!std::isfinite(m(i, f))) {
+          m(i, f) = 0.0;  // normalized-space historical mean
+          ++scrubbed_outputs_;
+        }
         m(i, f) = normalizer_.denormalize(m(i, f), f);
       }
     }
     out.push_back(std::move(m));
   }
   return out;
+}
+
+HealthReport OnlineForecaster::health() const {
+  HealthReport h;
+  h.buffer_coverage = buffer_coverage();
+  h.readings_seen = seen_;
+  h.sanitized_entries = sanitized_entries_;
+  h.coerced_mask_entries = coerced_mask_entries_;
+  h.stuck_demotions = stuck_demotions_;
+  h.model_forecasts = model_forecasts_;
+  h.fallback_forecasts = fallback_forecasts_;
+  h.scrubbed_outputs = scrubbed_outputs_;
+  // Suspects: sensors currently flagged stuck, plus sensors dead (zero
+  // observed entries) across a completely full buffer.
+  const bool buffer_full = values_.size() == lookback_;
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    bool suspect = stuck_[i];
+    if (!suspect && buffer_full) {
+      bool any_observed = false;
+      for (const Matrix& m : masks_) {
+        for (std::size_t f = 0; f < num_features_ && !any_observed; ++f) {
+          if (m(i, f) > 0.5) any_observed = true;
+        }
+        if (any_observed) break;
+      }
+      suspect = !any_observed;
+    }
+    if (suspect) h.suspect_sensors.push_back(i);
+  }
+  return h;
 }
 
 double OnlineForecaster::buffer_coverage() const {

@@ -15,12 +15,24 @@
 //     units.
 //
 // The wrapper never mutates the model; it is cheap to create per stream.
+//
+// Graceful degradation (DESIGN.md §11): ingest sanitizes the feed —
+// non-finite readings are demoted to missing via the mask (exactly what the
+// recurrent imputation machinery was built for) and out-of-{0,1} mask
+// entries are coerced; a sliding-window detector flags sensors stuck on one
+// value (and demotes their readings) or dead across a full buffer; and
+// forecast() falls back to an optional secondary model (typically
+// baselines::HistoricalAverageModel) whenever the primary throws or emits
+// non-finite output, scrubbing any remaining non-finite entries to the
+// historical mean — a forecast is never non-finite. health() reports all of
+// it.
 #pragma once
 
 #include <cstddef>
 #include <deque>
 
 #include "core/model.hpp"
+#include "core/robust.hpp"
 #include "data/dataset.hpp"
 
 namespace rihgcn::core {
@@ -35,17 +47,37 @@ class OnlineForecaster {
                    std::size_t lookback, std::size_t horizon,
                    std::size_t steps_per_day, std::size_t start_slot = 0);
 
+  /// Optional fallback forecaster (e.g. baselines::HistoricalAverageModel
+  /// built on the same normalized data) used when the primary model throws
+  /// or produces non-finite output. Must outlive the forecaster; nullptr
+  /// disables model fallback (non-finite outputs are then scrubbed to the
+  /// historical mean entry-wise).
+  void set_fallback(ForecastModel* fallback) noexcept {
+    fallback_ = fallback;
+  }
+  /// A sensor whose target-feature value repeats exactly this many
+  /// consecutive observed readings is flagged stuck and its readings are
+  /// demoted to missing until the value moves again. 0 disables detection.
+  void set_stuck_threshold(std::size_t readings) noexcept {
+    stuck_threshold_ = readings;
+  }
+
   /// Ingest one reading: values in ORIGINAL units; mask flags which entries
   /// are real (same shapes: num_nodes x num_features). Advances the clock
-  /// by one slot.
+  /// by one slot. Non-finite values and malformed mask entries are
+  /// sanitized, never stored.
   void push_reading(const Matrix& values, const Matrix& mask);
   /// Ingest a timestep with no data at all (sensor outage, gap in feed).
   void push_gap();
 
   /// Forecast of the target feature for the next `horizon` steps, in
   /// ORIGINAL units (num_nodes x horizon). Valid as soon as at least one
-  /// reading has been pushed.
+  /// reading has been pushed. Guaranteed finite: falls back / scrubs on a
+  /// non-finite primary output (see class comment).
   [[nodiscard]] Matrix forecast();
+
+  /// Serving health: coverage, suspect sensors, sanitize/fallback counters.
+  [[nodiscard]] HealthReport health() const;
 
   /// The model's completed view of the buffered lookback (original units),
   /// one num_nodes x num_features matrix per buffered step. Empty if the
@@ -62,9 +94,15 @@ class OnlineForecaster {
 
  private:
   [[nodiscard]] data::Window make_window() const;
+  /// Run the primary model (fallback on throw / non-finite output), then
+  /// scrub: any entry still non-finite becomes 0 in normalized space (the
+  /// historical mean after denormalization). Returns the normalized
+  /// num_nodes x horizon forecast.
+  [[nodiscard]] Matrix robust_predict(const data::Window& w);
 
   ForecastModel& model_;
   const data::ZScoreNormalizer& normalizer_;
+  ForecastModel* fallback_ = nullptr;
   std::size_t num_nodes_;
   std::size_t num_features_;
   std::size_t lookback_;
@@ -74,6 +112,18 @@ class OnlineForecaster {
   std::size_t seen_ = 0;
   std::deque<Matrix> values_;  // normalized, observed-masked
   std::deque<Matrix> masks_;
+
+  // ---- Robustness state ----------------------------------------------------
+  std::size_t stuck_threshold_ = 12;
+  std::vector<double> last_value_;        // per node, target feature
+  std::vector<std::size_t> repeat_runs_;  // consecutive identical readings
+  std::vector<bool> stuck_;               // currently flagged stuck
+  std::size_t sanitized_entries_ = 0;
+  std::size_t coerced_mask_entries_ = 0;
+  std::size_t stuck_demotions_ = 0;
+  std::size_t model_forecasts_ = 0;
+  std::size_t fallback_forecasts_ = 0;
+  std::size_t scrubbed_outputs_ = 0;
 };
 
 /// Human-readable parameter inventory of a model (name, shape, count),

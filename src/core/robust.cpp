@@ -1,0 +1,107 @@
+#include "core/robust.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rihgcn::core {
+
+NumericalGuard::NumericalGuard(std::vector<ad::Parameter*> params,
+                               nn::AdamOptimizer& optimizer,
+                               GuardConfig config)
+    : params_(std::move(params)), optimizer_(optimizer), config_(config) {
+  if (config_.ema_decay < 0.0 || config_.ema_decay >= 1.0) {
+    throw std::invalid_argument("NumericalGuard: ema_decay must be in [0,1)");
+  }
+  if (config_.spike_factor <= 1.0) {
+    throw std::invalid_argument("NumericalGuard: spike_factor must be > 1");
+  }
+  if (config_.max_consecutive_bad == 0 || config_.snapshot_every == 0) {
+    throw std::invalid_argument(
+        "NumericalGuard: max_consecutive_bad and snapshot_every must be > 0");
+  }
+  // The pre-training state is the first known-good snapshot: a run whose
+  // very first batches are corrupt rolls back to initialization instead of
+  // stepping into NaN.
+  take_snapshot();
+}
+
+NumericalGuard::Verdict NumericalGuard::inspect(double batch_loss) {
+  if (!config_.enabled) return Verdict::kOk;
+
+  bool bad = false;
+  if (!std::isfinite(batch_loss)) {
+    ++counters_.nonfinite_losses;
+    bad = true;
+  } else {
+    for (const ad::Parameter* p : params_) {
+      if (p->grad().has_non_finite()) {
+        ++counters_.nonfinite_grads;
+        bad = true;
+        break;
+      }
+    }
+    if (!bad && state_.ema_initialized &&
+        state_.good_steps >= config_.warmup_steps) {
+      // EMA-relative spike. |EMA| floors at a tiny constant so a loss that
+      // has converged to ~0 does not turn ordinary noise into "spikes".
+      const double ref = std::max(std::abs(state_.loss_ema), 1e-12);
+      if (batch_loss > config_.spike_factor * ref) {
+        ++counters_.loss_spikes;
+        bad = true;
+      }
+    }
+  }
+
+  if (!bad) {
+    state_.loss_ema = state_.ema_initialized
+                          ? config_.ema_decay * state_.loss_ema +
+                                (1.0 - config_.ema_decay) * batch_loss
+                          : batch_loss;
+    state_.ema_initialized = true;
+    return Verdict::kOk;
+  }
+
+  ++counters_.batches_skipped;
+  ++state_.consecutive_bad;
+  if (state_.backoffs_used < config_.max_lr_backoffs) {
+    optimizer_.set_lr(optimizer_.current_lr() * config_.lr_backoff);
+    ++state_.backoffs_used;
+    ++counters_.lr_backoffs;
+  }
+  if (state_.consecutive_bad >= config_.max_consecutive_bad) {
+    rollback();
+  }
+  return Verdict::kSkipBatch;
+}
+
+void NumericalGuard::after_step() {
+  if (!config_.enabled) return;
+  state_.consecutive_bad = 0;
+  ++state_.good_steps;
+  if (state_.good_steps % config_.snapshot_every == 0) take_snapshot();
+}
+
+void NumericalGuard::take_snapshot() {
+  // Copy in place: with the default snapshot_every == 1 this runs on every
+  // accepted step, so reusing the snapshot buffers keeps the steady-state
+  // cost to a memcpy instead of a fresh allocation per step.
+  good_values_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    good_values_[i] = params_[i]->value();
+  }
+  optimizer_.state_into(good_opt_);
+}
+
+void NumericalGuard::rollback() {
+  // Preserve the backed-off learning rate across the restore: the whole
+  // point of the rollback+backoff pair is to retry the same region of
+  // parameter space with smaller steps.
+  const double lr = optimizer_.current_lr();
+  nn::restore_values(good_values_, params_);
+  optimizer_.set_state(good_opt_);
+  optimizer_.set_lr(lr);
+  ++counters_.rollbacks;
+  state_.consecutive_bad = 0;
+}
+
+}  // namespace rihgcn::core

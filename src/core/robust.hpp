@@ -1,0 +1,149 @@
+// Fault tolerance for training and serving (DESIGN.md §11).
+//
+// A deployed forecaster must survive the pathologies the missing-value
+// setting implies: feeds that emit NaN/Inf instead of gaps, sensors that
+// stick or spike, and long training runs that diverge. This header holds the
+// shared robustness vocabulary:
+//
+//  * NumericalGuard — wraps the train loop's optimizer step. It vetoes a
+//    step when the batch loss or any accumulated gradient is non-finite, or
+//    when the loss spikes far above its exponential moving average; vetoed
+//    batches are skipped, the learning rate is backed off a bounded number
+//    of times, and after K consecutive bad steps the parameters AND the Adam
+//    moments roll back to the last known-good snapshot. With healthy data
+//    the guard is pure observation: it never perturbs a clean run, and all
+//    of its counters stay zero (CI asserts this).
+//  * HealthReport — the serving-side health surface of OnlineForecaster:
+//    buffer coverage, suspect (stuck/dead) sensors, sanitization and
+//    fallback counters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autodiff/tape.hpp"
+#include "nn/optim.hpp"
+
+namespace rihgcn::core {
+
+/// Thresholds for NumericalGuard. Defaults are deliberately loose: the
+/// guard exists to catch divergence and corrupt feeds, not to second-guess
+/// ordinary optimization noise.
+struct GuardConfig {
+  bool enabled = true;
+  /// A finite batch loss above `spike_factor * EMA(loss)` counts as a spike.
+  double spike_factor = 100.0;
+  /// EMA decay for the loss trace (per accepted batch).
+  double ema_decay = 0.9;
+  /// Accepted batches before spike detection arms (the first steps of a run
+  /// legitimately move the loss by large factors).
+  std::size_t warmup_steps = 5;
+  /// K consecutive vetoed batches trigger a parameter + optimizer rollback.
+  std::size_t max_consecutive_bad = 3;
+  /// Multiply the learning rate by this on each vetoed batch...
+  double lr_backoff = 0.5;
+  /// ...at most this many times over the whole run (bounded retries).
+  std::size_t max_lr_backoffs = 4;
+  /// Accepted steps between known-good snapshots (1 = snapshot every step).
+  std::size_t snapshot_every = 1;
+};
+
+/// Everything the guard did, surfaced in TrainReport. A clean run has all
+/// counters at zero.
+struct GuardCounters {
+  std::size_t batches_skipped = 0;   ///< vetoed batches (sum of the 3 causes)
+  std::size_t nonfinite_losses = 0;  ///< vetoes due to NaN/Inf batch loss
+  std::size_t nonfinite_grads = 0;   ///< vetoes due to NaN/Inf gradients
+  std::size_t loss_spikes = 0;       ///< vetoes due to EMA-relative spikes
+  std::size_t lr_backoffs = 0;       ///< learning-rate reductions applied
+  std::size_t rollbacks = 0;         ///< snapshot restores performed
+
+  /// True iff the guard never intervened.
+  [[nodiscard]] bool clean() const noexcept {
+    return batches_skipped == 0 && lr_backoffs == 0 && rollbacks == 0;
+  }
+};
+
+/// Serializable guard state (carried by nn::TrainCheckpoint so a resumed
+/// run continues the EMA trace and backoff budget instead of resetting).
+struct GuardState {
+  double loss_ema = 0.0;
+  bool ema_initialized = false;
+  std::size_t good_steps = 0;       ///< accepted batches so far
+  std::size_t consecutive_bad = 0;  ///< current bad streak
+  std::size_t backoffs_used = 0;    ///< lifetime LR backoffs
+};
+
+/// Numerical health guard around an Adam-driven training loop. Usage per
+/// batch (see core::train_model):
+///
+///   optimizer.zero_grad();  ...accumulate and average gradients...
+///   if (guard.inspect(batch_loss) == NumericalGuard::Verdict::kSkipBatch)
+///     continue;            // no optimizer step; guard handled backoff etc.
+///   optimizer.step();
+///   guard.after_step();    // marks the new state known-good
+///
+/// `params` and `optimizer` must outlive the guard. The constructor takes an
+/// initial snapshot, so a rollback is well-defined from the first batch.
+class NumericalGuard {
+ public:
+  enum class Verdict { kOk, kSkipBatch };
+
+  NumericalGuard(std::vector<ad::Parameter*> params,
+                 nn::AdamOptimizer& optimizer, GuardConfig config);
+
+  /// Examine the averaged batch loss and the accumulated parameter
+  /// gradients. kOk means the step is safe to apply; kSkipBatch means the
+  /// guard vetoed it (and may have backed off the LR or rolled back).
+  [[nodiscard]] Verdict inspect(double batch_loss);
+  /// Record that optimizer.step() was applied after a kOk verdict; refreshes
+  /// the known-good snapshot on the configured cadence.
+  void after_step();
+
+  [[nodiscard]] const GuardCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const GuardState& state() const noexcept { return state_; }
+  /// Restore EMA/backoff state from a checkpoint (counters start at zero —
+  /// TrainReport counts per run, not per lifetime).
+  void set_state(const GuardState& s) noexcept { state_ = s; }
+
+ private:
+  void take_snapshot();
+  void rollback();
+
+  std::vector<ad::Parameter*> params_;
+  nn::AdamOptimizer& optimizer_;
+  GuardConfig config_;
+  GuardCounters counters_;
+  GuardState state_;
+  std::vector<Matrix> good_values_;
+  nn::AdamOptimizer::State good_opt_;
+};
+
+/// Serving-side health surface of core::OnlineForecaster.
+struct HealthReport {
+  /// Fraction of entries in the current buffer that are real observations
+  /// (after sanitization and stuck-sensor demotion).
+  double buffer_coverage = 0.0;
+  std::size_t readings_seen = 0;
+  /// Non-finite reading entries demoted to missing on ingest.
+  std::size_t sanitized_entries = 0;
+  /// Mask entries outside {0,1} coerced on ingest.
+  std::size_t coerced_mask_entries = 0;
+  /// Whole readings demoted to missing because the sensor was stuck.
+  std::size_t stuck_demotions = 0;
+  /// Forecasts served by the primary model.
+  std::size_t model_forecasts = 0;
+  /// Forecasts served by the fallback model (primary threw or went
+  /// non-finite).
+  std::size_t fallback_forecasts = 0;
+  /// Individual output entries scrubbed to the historical mean because even
+  /// the fallback path left them non-finite.
+  std::size_t scrubbed_outputs = 0;
+  /// Nodes currently flagged stuck (repeating one value) or dead (no
+  /// observation anywhere in a full buffer).
+  std::vector<std::size_t> suspect_sensors;
+};
+
+}  // namespace rihgcn::core

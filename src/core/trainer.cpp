@@ -87,11 +87,26 @@ TrainReport train_model(ForecastModel& model,
   if (split.train.empty()) {
     throw std::invalid_argument("train_model: empty training split");
   }
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("train_model: batch_size must be > 0");
+  }
+  if (config.num_threads == 0) {
+    throw std::invalid_argument(
+        "train_model: num_threads must be > 0 (1 = serial)");
+  }
+  if (config.resume && config.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "train_model: resume requires a checkpoint_path");
+  }
   Rng rng(config.seed);
   const std::vector<std::size_t> train_idx =
       subsample(split.train, config.max_train_windows, rng);
   const std::vector<std::size_t> val_idx =
       subsample(split.val, config.max_val_windows, rng);
+  // No validation data: degrade to fixed-epoch training (documented in
+  // trainer.hpp) — there is no metric to early-stop on or to pick a "best"
+  // epoch by, so all epochs run and the final parameters are kept.
+  const bool has_val = !val_idx.empty();
 
   std::vector<ad::Parameter*> params = model.parameters();
   nn::AdamOptimizer::Config opt_cfg;
@@ -99,16 +114,68 @@ TrainReport train_model(ForecastModel& model,
   opt_cfg.max_grad_norm = config.max_grad_norm;
   nn::AdamOptimizer optimizer(params, opt_cfg);
   nn::EarlyStopping stopper(config.patience);
+  NumericalGuard guard(params, optimizer, config.guard);
 
   TrainReport report;
   std::vector<Matrix> best_snapshot = nn::snapshot_values(params);
+  std::size_t start_epoch = 0;
+  if (config.resume) {
+    const nn::TrainCheckpoint ckpt =
+        nn::load_training_checkpoint(config.checkpoint_path, params);
+    if (ckpt.batch_size != config.batch_size ||
+        ckpt.num_threads != config.num_threads || ckpt.seed != config.seed) {
+      throw std::runtime_error(
+          "train_model: checkpoint determinism contract mismatch "
+          "(batch_size/num_threads/seed differ from the saved run)");
+    }
+    rng.set_state(ckpt.rng);
+    optimizer.set_state(ckpt.adam);
+    stopper.restore(ckpt.stopper_best, ckpt.stopper_bad_epochs);
+    GuardState gs;
+    gs.loss_ema = ckpt.guard_loss_ema;
+    gs.ema_initialized = ckpt.guard_ema_initialized;
+    gs.good_steps = ckpt.guard_good_steps;
+    gs.consecutive_bad = ckpt.guard_consecutive_bad;
+    gs.backoffs_used = ckpt.guard_backoffs_used;
+    guard.set_state(gs);
+    if (!ckpt.best_values.empty()) best_snapshot = ckpt.best_values;
+    start_epoch = ckpt.epoch;
+    report.resumed_epoch = ckpt.epoch;
+  }
+  const auto write_checkpoint = [&](std::size_t completed_epochs) {
+    nn::TrainCheckpoint ckpt;
+    ckpt.epoch = completed_epochs;
+    ckpt.batch_size = config.batch_size;
+    ckpt.num_threads = config.num_threads;
+    ckpt.seed = config.seed;
+    ckpt.rng = rng.state();
+    ckpt.adam = optimizer.state();
+    ckpt.stopper_best = stopper.best();
+    ckpt.stopper_bad_epochs = stopper.bad_epochs();
+    const GuardState& gs = guard.state();
+    ckpt.guard_loss_ema = gs.loss_ema;
+    ckpt.guard_ema_initialized = gs.ema_initialized;
+    ckpt.guard_good_steps = gs.good_steps;
+    ckpt.guard_consecutive_bad = gs.consecutive_bad;
+    ckpt.guard_backoffs_used = gs.backoffs_used;
+    ckpt.best_values = best_snapshot;
+    nn::save_training_checkpoint(config.checkpoint_path, ckpt, params);
+    ++report.checkpoints_written;
+  };
   // Arena tapes, hoisted out of the epoch/batch loops: reset() recycles node
   // slots and Matrix buffers, so steady-state training steps allocate
   // (almost) nothing (DESIGN.md §10). One tape per worker in the parallel
   // path; the serial path uses the first.
   ad::Tape serial_tape;
   std::vector<std::unique_ptr<ad::Tape>> worker_tapes;
-  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+  const std::size_t checkpoint_every =
+      std::max<std::size_t>(1, config.checkpoint_every);
+  for (std::size_t epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
+    if (has_val && stopper.should_stop()) {
+      // Resumed from a checkpoint whose patience budget was already spent.
+      report.early_stopped = true;
+      break;
+    }
     // ---- One training epoch ---------------------------------------------
     std::vector<std::size_t> order = rng.permutation(train_idx.size());
     double epoch_loss = 0.0;
@@ -135,7 +202,12 @@ TrainReport train_model(ForecastModel& model,
       // Average the accumulated gradient over the batch.
       const double inv = 1.0 / static_cast<double>(batch_end - pos);
       for (ad::Parameter* p : params) p->grad() *= inv;
+      if (guard.inspect(batch_loss * inv) ==
+          NumericalGuard::Verdict::kSkipBatch) {
+        continue;  // vetoed: no step; guard handled backoff / rollback
+      }
       optimizer.step();
+      guard.after_step();
       epoch_loss += batch_loss * inv;
       ++batches;
     }
@@ -144,7 +216,7 @@ TrainReport train_model(ForecastModel& model,
 
     // ---- Validation -----------------------------------------------------------
     double val_mae;
-    if (val_idx.empty()) {
+    if (!has_val) {
       val_mae = report.train_losses.back();  // degenerate: no val data
     } else {
       val_mae = evaluate_prediction(model, sampler, val_idx,
@@ -158,18 +230,29 @@ TrainReport train_model(ForecastModel& model,
                   model.name().c_str(), epoch + 1,
                   report.train_losses.back(), val_mae);
     }
-    if (stopper.update(val_mae)) {
-      best_snapshot = nn::snapshot_values(params);
+    if (has_val) {
+      if (stopper.update(val_mae)) {
+        best_snapshot = nn::snapshot_values(params);
+      }
+      if (stopper.should_stop()) {
+        report.early_stopped = true;
+        if (!config.checkpoint_path.empty()) write_checkpoint(epoch + 1);
+        break;
+      }
     }
-    if (stopper.should_stop()) {
-      report.early_stopped = true;
-      break;
+    if (!config.checkpoint_path.empty() &&
+        ((epoch + 1 - start_epoch) % checkpoint_every == 0 ||
+         epoch + 1 == config.max_epochs)) {
+      write_checkpoint(epoch + 1);
     }
   }
-  if (config.restore_best && !params.empty()) {
+  if (has_val && config.restore_best && !params.empty()) {
     nn::restore_values(best_snapshot, params);
   }
-  report.best_val_mae = stopper.best();
+  report.best_val_mae =
+      has_val ? stopper.best()
+              : (report.train_losses.empty() ? 0.0 : report.train_losses.back());
+  report.guard = guard.counters();
   return report;
 }
 

@@ -1,0 +1,152 @@
+#include "data/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rihgcn::data {
+
+namespace {
+
+void check_rate(double rate, const char* what) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultInjector: ") + what +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultStats FaultInjector::nan_burst(TrafficDataset& ds, double rate,
+                                    double mean_len) {
+  check_rate(rate, "nan_burst rate");
+  if (!(mean_len >= 1.0)) {
+    throw std::invalid_argument("FaultInjector: nan_burst mean_len must be >= 1");
+  }
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  FaultStats stats;
+  const std::size_t T = ds.num_timesteps();
+  const std::size_t N = ds.num_nodes();
+  const std::size_t D = ds.num_features();
+  // remaining[i*D + f] = timesteps left in this stream's active burst.
+  std::vector<std::size_t> remaining(N * D, 0);
+  const double p_continue = 1.0 - 1.0 / mean_len;  // geometric length
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t f = 0; f < D; ++f) {
+        std::size_t& rem = remaining[i * D + f];
+        if (rem == 0 && rng_.bernoulli(rate)) {
+          rem = 1;
+          while (rng_.bernoulli(p_continue)) ++rem;
+          ++stats.events;
+        }
+        if (rem > 0) {
+          --rem;
+          if (ds.mask[t](i, f) > 0.5) {
+            ds.truth[t](i, f) = kNaN;  // mask still claims "observed"
+            ++stats.entries_corrupted;
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+FaultStats FaultInjector::stuck_at(TrafficDataset& ds, double fraction,
+                                   std::size_t duration) {
+  check_rate(fraction, "stuck_at fraction");
+  FaultStats stats;
+  const std::size_t T = ds.num_timesteps();
+  const std::size_t N = ds.num_nodes();
+  const std::size_t D = ds.num_features();
+  if (T == 0 || duration == 0) return stats;
+  const auto victims = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(N)));
+  for (std::size_t i : rng_.sample_without_replacement(N, victims)) {
+    const std::size_t start = rng_.uniform_index(T);
+    const std::size_t end = std::min(T, start + duration);
+    ++stats.events;
+    for (std::size_t f = 0; f < D; ++f) {
+      const double frozen = ds.truth[start](i, f);
+      for (std::size_t t = start + 1; t < end; ++t) {
+        ds.truth[t](i, f) = frozen;
+        ++stats.entries_corrupted;
+      }
+    }
+  }
+  return stats;
+}
+
+FaultStats FaultInjector::spike(TrafficDataset& ds, double rate,
+                                double magnitude) {
+  check_rate(rate, "spike rate");
+  FaultStats stats;
+  double peak = 1.0;
+  for (const Matrix& x : ds.truth) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double a = std::abs(x.data()[i]);
+      if (std::isfinite(a)) peak = std::max(peak, a);
+    }
+  }
+  const double amp = magnitude * peak;
+  for (std::size_t t = 0; t < ds.num_timesteps(); ++t) {
+    for (std::size_t i = 0; i < ds.num_nodes(); ++i) {
+      for (std::size_t f = 0; f < ds.num_features(); ++f) {
+        if (ds.mask[t](i, f) > 0.5 && rng_.bernoulli(rate)) {
+          ds.truth[t](i, f) = rng_.bernoulli(0.5) ? amp : -amp;
+          ++stats.entries_corrupted;
+          ++stats.events;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+FaultStats FaultInjector::sensor_dropout(TrafficDataset& ds, double fraction,
+                                         std::size_t duration) {
+  check_rate(fraction, "sensor_dropout fraction");
+  FaultStats stats;
+  const std::size_t T = ds.num_timesteps();
+  const std::size_t N = ds.num_nodes();
+  const std::size_t D = ds.num_features();
+  if (T == 0 || duration == 0) return stats;
+  const auto victims = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(N)));
+  for (std::size_t i : rng_.sample_without_replacement(N, victims)) {
+    const std::size_t start = rng_.uniform_index(T);
+    const std::size_t end = std::min(T, start + duration);
+    ++stats.events;
+    for (std::size_t t = start; t < end; ++t) {
+      for (std::size_t f = 0; f < D; ++f) {
+        if (ds.mask[t](i, f) > 0.5) {
+          ds.mask[t](i, f) = 0.0;
+          ++stats.entries_masked;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+FaultStats FaultInjector::feed_gap(TrafficDataset& ds, std::size_t len) {
+  FaultStats stats;
+  const std::size_t T = ds.num_timesteps();
+  if (T == 0 || len == 0) return stats;
+  const std::size_t start = rng_.uniform_index(T);
+  const std::size_t end = std::min(T, start + len);
+  ++stats.events;
+  for (std::size_t t = start; t < end; ++t) {
+    for (std::size_t i = 0; i < ds.mask[t].size(); ++i) {
+      if (ds.mask[t].data()[i] > 0.5) {
+        ds.mask[t].data()[i] = 0.0;
+        ++stats.entries_masked;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace rihgcn::data

@@ -1,5 +1,6 @@
 #include "data/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -17,14 +18,42 @@ void write_matrix(std::ostream& os, const Matrix& m) {
   os << "\n";
 }
 
-Matrix read_matrix(std::istream& is, std::size_t rows, std::size_t cols) {
+/// Read a rows x cols block, validating every entry is a finite double.
+/// `section` names the block ("coords", "truth[t]", ...) so malformed files
+/// fail with full row/col context instead of a generic parse error.
+Matrix read_matrix(std::istream& is, std::size_t rows, std::size_t cols,
+                   const std::string& section) {
   Matrix m(rows, cols);
   for (std::size_t i = 0; i < m.size(); ++i) {
     if (!(is >> m.data()[i])) {
-      throw std::runtime_error("load_dataset: truncated matrix data");
+      throw std::runtime_error(
+          "load_dataset: truncated or unparsable data in " + section +
+          " at row " + std::to_string(i / cols) + ", col " +
+          std::to_string(i % cols));
+    }
+    if (!std::isfinite(m.data()[i])) {
+      throw std::runtime_error(
+          "load_dataset: non-finite value in " + section + " at row " +
+          std::to_string(i / cols) + ", col " + std::to_string(i % cols));
     }
   }
   return m;
+}
+
+/// Mask entries must be exactly 0 or 1 — anything else means the file was
+/// corrupted or produced by a buggy writer.
+void validate_mask_block(const Matrix& m, std::size_t t) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t f = 0; f < m.cols(); ++f) {
+      const double v = m(i, f);
+      if (v != 0.0 && v != 1.0) {
+        throw std::runtime_error(
+            "load_dataset: mask entry outside {0,1} at timestep " +
+            std::to_string(t) + ", row " + std::to_string(i) + ", col " +
+            std::to_string(f));
+      }
+    }
+  }
 }
 
 void expect_token(std::istream& is, const std::string& expected) {
@@ -75,16 +104,22 @@ TrafficDataset load_dataset(std::istream& is) {
   std::size_t rows = 0, cols = 0;
   expect_token(is, "coords");
   is >> rows >> cols;
-  ds.coords = read_matrix(is, rows, cols);
+  ds.coords = read_matrix(is, rows, cols, "coords");
   expect_token(is, "geo_distances");
   is >> rows >> cols;
-  ds.geo_distances = read_matrix(is, rows, cols);
+  ds.geo_distances = read_matrix(is, rows, cols, "geo_distances");
   expect_token(is, "truth");
   ds.truth.reserve(t);
-  for (std::size_t k = 0; k < t; ++k) ds.truth.push_back(read_matrix(is, n, d));
+  for (std::size_t k = 0; k < t; ++k) {
+    ds.truth.push_back(
+        read_matrix(is, n, d, "truth[" + std::to_string(k) + "]"));
+  }
   expect_token(is, "mask");
   ds.mask.reserve(t);
-  for (std::size_t k = 0; k < t; ++k) ds.mask.push_back(read_matrix(is, n, d));
+  for (std::size_t k = 0; k < t; ++k) {
+    ds.mask.push_back(read_matrix(is, n, d, "mask[" + std::to_string(k) + "]"));
+    validate_mask_block(ds.mask.back(), k);
+  }
   ds.validate();
   return ds;
 }

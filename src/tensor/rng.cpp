@@ -113,4 +113,18 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xa5a5a5a5deadbeefULL); }
 
+RngState Rng::state() const noexcept {
+  RngState s;
+  for (std::size_t i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::set_state(const RngState& s) noexcept {
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = s.words[i];
+  has_cached_normal_ = s.has_cached_normal;
+  cached_normal_ = s.cached_normal;
+}
+
 }  // namespace rihgcn

@@ -7,12 +7,24 @@
 // identical across platforms, unlike std::default_random_engine.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.hpp"
 
 namespace rihgcn {
+
+/// Complete serializable Rng state: the four xoshiro words plus the
+/// Box-Muller cache (a restored stream must replay the pending second
+/// normal, or every downstream draw shifts by one). Used by the durable
+/// training checkpoints (nn::TrainCheckpoint) so a resumed run shuffles
+/// mini-batches exactly like the uninterrupted one.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// xoshiro256** PRNG with convenience samplers.
 class Rng {
@@ -48,6 +60,10 @@ class Rng {
 
   /// Derive an independent child stream (for parallel-safe substreams).
   Rng split();
+
+  /// Snapshot / restore the full generator state (checkpoint support).
+  [[nodiscard]] RngState state() const noexcept;
+  void set_state(const RngState& s) noexcept;
 
  private:
   std::uint64_t state_[4];

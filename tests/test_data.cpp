@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 #include "data/dataset.hpp"
 #include "data/generators.hpp"
+#include "data/io.hpp"
 #include "data/missing.hpp"
 #include "data/windows.hpp"
 
@@ -386,6 +389,62 @@ TEST(Windows, BadArgsThrow) {
   EXPECT_THROW((void)sampler.make_window(ds.num_timesteps()),
                std::out_of_range);
   EXPECT_THROW((void)sampler.split(0.9, 0.2), std::invalid_argument);
+}
+
+// ---- Load-time validation ---------------------------------------------------
+
+TEST(DatasetIo, LoadRejectsMaskOutsideZeroOneWithContext) {
+  TrafficDataset ds = generate_pems_like(small_pems());
+  std::ostringstream os;
+  save_dataset(os, ds);
+  std::string text = os.str();
+  const std::size_t pos = text.find("mask\n");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 5] = '7';  // first mask entry becomes 7 -> not in {0,1}
+  std::istringstream is(text);
+  try {
+    (void)load_dataset(is);
+    FAIL() << "mask entry outside {0,1} was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("mask"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("col 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(DatasetIo, LoadRejectsUnparsableValueWithContext) {
+  TrafficDataset ds = generate_pems_like(small_pems());
+  std::ostringstream os;
+  save_dataset(os, ds);
+  std::string text = os.str();
+  const std::size_t pos = text.find("truth\n");
+  ASSERT_NE(pos, std::string::npos);
+  // A writer that serialized a NaN would emit exactly this token; the loader
+  // must refuse it and say where it was.
+  text.insert(pos + 6, "nan ");
+  std::istringstream is(text);
+  try {
+    (void)load_dataset(is);
+    FAIL() << "non-finite truth entry was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("truth[0]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(DatasetIo, CleanRoundTripStillWorks) {
+  TrafficDataset ds = generate_pems_like(small_pems());
+  Rng rng(3);
+  inject_mcar(ds, 0.25, rng);
+  std::ostringstream os;
+  save_dataset(os, ds);
+  std::istringstream is(os.str());
+  const TrafficDataset back = load_dataset(is);
+  EXPECT_EQ(back.num_nodes(), ds.num_nodes());
+  EXPECT_EQ(back.num_timesteps(), ds.num_timesteps());
+  EXPECT_DOUBLE_EQ(back.missing_rate(), ds.missing_rate());
 }
 
 }  // namespace

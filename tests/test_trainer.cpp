@@ -129,6 +129,54 @@ TEST(Trainer, EmptyTrainSplitThrows) {
                std::invalid_argument);
 }
 
+TEST(Trainer, ZeroBatchSizeRejected) {
+  Fixture f;
+  baselines::FcLstmModel model(4, f.nb_config());
+  TrainConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW((void)train_model(model, *f.sampler, f.split, cfg),
+               std::invalid_argument);
+}
+
+TEST(Trainer, ZeroThreadsRejected) {
+  Fixture f;
+  baselines::FcLstmModel model(4, f.nb_config());
+  TrainConfig cfg;
+  cfg.num_threads = 0;
+  EXPECT_THROW((void)train_model(model, *f.sampler, f.split, cfg),
+               std::invalid_argument);
+}
+
+TEST(Trainer, ResumeWithoutCheckpointPathRejected) {
+  Fixture f;
+  baselines::FcLstmModel model(4, f.nb_config());
+  TrainConfig cfg;
+  cfg.resume = true;
+  EXPECT_THROW((void)train_model(model, *f.sampler, f.split, cfg),
+               std::invalid_argument);
+}
+
+TEST(Trainer, EmptyValSplitDegradesToFixedEpochs) {
+  // No validation data: all epochs run, no early stop, final params kept,
+  // val_maes mirror the train loss (documented in trainer.hpp).
+  Fixture f;
+  baselines::FcLstmModel model(4, f.nb_config());
+  data::SplitIndices split = f.split;
+  split.val.clear();
+  TrainConfig cfg;
+  cfg.max_epochs = 3;
+  cfg.patience = 1;  // would stop instantly if early stopping were active
+  cfg.max_train_windows = 24;
+  const TrainReport report = train_model(model, *f.sampler, split, cfg);
+  EXPECT_EQ(report.epochs_run, 3u);
+  EXPECT_FALSE(report.early_stopped);
+  ASSERT_EQ(report.val_maes.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(report.val_maes[e], report.train_losses[e]);
+  }
+  EXPECT_EQ(report.best_val_mae, report.train_losses.back());
+}
+
 TEST(Trainer, SubsampleCapsRespected) {
   Fixture f;
   baselines::FcLstmModel model(4, f.nb_config());

@@ -233,11 +233,30 @@ int cmd_train(const Args& args) {
   tc.max_val_windows = get_size(args, "val-windows", 48);
   tc.num_threads = get_size(args, "threads", 1);
   tc.verbose = args.count("quiet") == 0;
+  // Durable training checkpoints (crash recovery): --checkpoint writes a
+  // CRC-verified rihgcn-train-ckpt file every --checkpoint-every epochs;
+  // --resume continues from it (same seed/batch/threads => bitwise-identical
+  // results to an uninterrupted run).
+  tc.checkpoint_path = get(args, "checkpoint", "");
+  tc.checkpoint_every = get_size(args, "checkpoint-every", 1);
+  tc.resume = args.count("resume") > 0;
   const core::TrainReport report =
       core::train_model(model, sampler, sampler.split(), tc);
   save_checkpoint(out, meta, model);
   std::printf("trained %zu epochs (best val MAE %.4f), checkpoint: %s\n",
               report.epochs_run, report.best_val_mae, out.c_str());
+  if (report.resumed_epoch > 0) {
+    std::printf("resumed from epoch %zu\n", report.resumed_epoch);
+  }
+  if (!report.guard.clean()) {
+    std::printf(
+        "numerical guard intervened: %zu batches skipped "
+        "(%zu non-finite losses, %zu non-finite grads, %zu spikes), "
+        "%zu LR backoffs, %zu rollbacks\n",
+        report.guard.batches_skipped, report.guard.nonfinite_losses,
+        report.guard.nonfinite_grads, report.guard.loss_spikes,
+        report.guard.lr_backoffs, report.guard.rollbacks);
+  }
   return 0;
 }
 
@@ -325,6 +344,9 @@ void usage() {
       "  train    --data FILE --out CKPT [--epochs E --lookback L --horizon H\n"
       "           --gcn-dim P --lstm-dim Q --graphs M --lambda L --cell lstm|gru\n"
       "           --threads T --quiet]\n"
+      "           [--checkpoint FILE --checkpoint-every N --resume]\n"
+      "           (durable training state; --resume continues a killed run\n"
+      "            bitwise-identically given the same seed/batch/threads)\n"
       "  evaluate --data FILE --ckpt CKPT [--max-windows N]\n"
       "  forecast --data FILE --ckpt CKPT [--window T]\n"
       "  summary  --data FILE --ckpt CKPT\n");
