@@ -24,8 +24,10 @@
 #include "harness.hpp"
 #include "nn/optim.hpp"
 #include "tensor/csr.hpp"
+#include "tensor/fmatrix.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 #include "timeseries/distance.hpp"
 
 namespace {
@@ -267,39 +269,41 @@ void BM_GruStep(benchmark::State& state) {
 BENCHMARK(BM_GruStep);
 
 // Data-parallel batch gradients: wall-clock for an 8-window batch at 1, 2
-// and 4 worker threads (speedup tops out at the core count and the
-// reduction cost).
+// and 4 worker threads, mirroring the trainer's per-worker batch parallelism
+// (persistent ThreadPool crew, hoisted arena tapes, grain-1 parallel_for so
+// every kernel inside a worker runs inline; speedup tops out at the core
+// count and the reduction cost).
 void BM_ParallelBatch(benchmark::State& state) {
   static RihgcnBenchFixture fixture;
   const auto threads = static_cast<std::size_t>(state.range(0));
   const data::WindowSampler& sampler = *fixture.sampler;
   std::vector<std::size_t> idx{100, 101, 102, 103, 104, 105, 106, 107};
-  std::vector<std::size_t> order{0, 1, 2, 3, 4, 5, 6, 7};
-  core::TrainConfig cfg;
-  cfg.num_threads = threads;
+  ThreadPool crew(threads);
+  std::vector<std::unique_ptr<ad::Tape>> tapes;
+  for (std::size_t w = 0; w < threads; ++w) {
+    tapes.push_back(std::make_unique<ad::Tape>());
+  }
   for (auto _ : state) {
     for (ad::Parameter* p : fixture.model->parameters()) p->zero_grad();
     if (threads <= 1) {
+      ad::Tape& tape = *tapes[0];
       for (const std::size_t i : idx) {
-        ad::Tape tape;
+        tape.reset();
         ad::Var loss =
             fixture.model->training_loss(tape, sampler.make_window(i));
         tape.backward(loss);
       }
     } else {
-      std::vector<std::thread> pool;
       std::vector<ad::Tape::GradSink> sinks(threads);
-      for (std::size_t w = 0; w < threads; ++w) {
-        pool.emplace_back([&, w] {
-          for (std::size_t b = w; b < idx.size(); b += threads) {
-            ad::Tape tape;
-            ad::Var loss = fixture.model->training_loss(
-                tape, sampler.make_window(idx[b]));
-            tape.backward_into(loss, sinks[w]);
-          }
-        });
-      }
-      for (auto& t : pool) t.join();
+      crew.parallel_for(0, threads, 1, [&](std::size_t w, std::size_t) {
+        for (std::size_t b = w; b < idx.size(); b += threads) {
+          ad::Tape& tape = *tapes[w];
+          tape.reset();
+          ad::Var loss = fixture.model->training_loss(
+              tape, sampler.make_window(idx[b]));
+          tape.backward_into(loss, sinks[w]);
+        }
+      });
       for (auto& sink : sinks) {
         for (auto& [param, grad] : sink) param->grad() += grad;
       }
@@ -335,30 +339,13 @@ SweepGraph make_sweep_graph(std::size_t n) {
   return g;
 }
 
-// Quick timer: grows the iteration count until the measured window is long
-// enough to trust, then reports the best of three windows. The minimum (not
-// the mean) is the right statistic here: interference from the rest of the
-// box only ever adds time, so the fastest window is the closest estimate of
-// the true cost — a single window can easily read 5-10% high.
-template <typename F>
-double time_ns_per_op(F&& f) {
-  f();  // warmup
-  const auto window_sec = [&f](std::size_t iters) {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < iters; ++i) f();
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-        .count();
-  };
-  std::size_t iters = 1;
-  for (;;) {
-    double sec = window_sec(iters);
-    if (sec > 0.2 || iters >= (1u << 22)) {
-      sec = std::min(sec, window_sec(iters));
-      sec = std::min(sec, window_sec(iters));
-      return sec * 1e9 / static_cast<double>(iters);
-    }
-    iters *= 4;
-  }
+// Record one timed row: ns_per_op is the median (the gating statistic for
+// tools/check_bench.py); min/stddev ride along for diagnosis.
+bench::MicroResult timed_row(const char* name, std::size_t n, double density,
+                             std::size_t threads,
+                             const bench::TimingStats& stats) {
+  return {name,    n,        density,         stats.median_ns,
+          threads, stats.min_ns, stats.stddev_ns};
 }
 
 // SpMM vs dense Chebyshev propagation: the two L̃·Z products of the K = 3
@@ -377,25 +364,75 @@ void run_sparse_sweep(const bench::BenchOptions& opts,
     const Matrix x = rng.normal_matrix(n, kFeat, 1.0);
     for (const std::size_t threads : {1, 4}) {
       ThreadPool::set_global_threads(threads);
-      const double dense_ns = time_ns_per_op([&] {
+      const bench::TimingStats dense = bench::measure_ns_per_op([&] {
         Matrix z1 = matmul(g.lap, x);
         Matrix z2 = matmul(g.lap, z1);
         benchmark::DoNotOptimize(z2.data());
       });
-      const double spmm_ns = time_ns_per_op([&] {
+      const bench::TimingStats sp = bench::measure_ns_per_op([&] {
         Matrix z1 = spmm(g.csr, x);
         Matrix z2 = spmm(g.csr, z1);
         benchmark::DoNotOptimize(z2.data());
       });
       const double density = g.csr.density();
-      results.push_back({"cheb_dense", n, density, dense_ns, threads});
-      results.push_back({"cheb_spmm", n, density, spmm_ns, threads});
+      results.push_back(timed_row("cheb_dense", n, density, threads, dense));
+      results.push_back(timed_row("cheb_spmm", n, density, threads, sp));
       std::printf("%-12s %6zu %9.3f %8zu %14.0f %9s\n", "cheb_dense", n,
-                  density, threads, dense_ns, "1.00x");
+                  density, threads, dense.median_ns, "1.00x");
       std::printf("%-12s %6zu %9.3f %8zu %14.0f %8.2fx\n", "cheb_spmm", n,
-                  density, threads, spmm_ns, dense_ns / spmm_ns);
+                  density, threads, sp.median_ns,
+                  dense.median_ns / sp.median_ns);
     }
   }
+  ThreadPool::set_global_threads(0);
+}
+
+// SIMD dispatch layer: the same blocked double GEMM through the scalar and
+// active tables (identical bits, different instructions), plus the f32
+// serving GEMM (tensor/fmatrix.hpp). Serial on purpose — this isolates the
+// per-core kernel, the thread sweeps above cover dispatch.
+void run_simd_sweep(const bench::BenchOptions& opts,
+                    std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kN = 256;
+  ThreadPool::set_global_threads(1);
+  Rng rng(opts.seed + 2);
+  const Matrix a = rng.normal_matrix(kN, kN, 1.0);
+  const Matrix b = rng.normal_matrix(kN, kN, 1.0);
+  Matrix out(kN, kN);
+  std::printf("\nSIMD kernel layer, %zux%zu GEMM (active ISA: %s)\n", kN, kN,
+              simd::isa_name(simd::active_isa()));
+  std::printf("%-18s %14s %9s\n", "kernel", "ns/op", "speedup");
+
+  simd::force_isa(simd::Isa::kScalar);
+  const bench::TimingStats scalar = bench::measure_ns_per_op([&] {
+    out.fill(0.0);
+    matmul_accumulate(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  simd::reset_isa();
+  const bench::TimingStats active = bench::measure_ns_per_op([&] {
+    out.fill(0.0);
+    matmul_accumulate(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  results.push_back(timed_row("matmul_scalar", kN, 1.0, 1, scalar));
+  results.push_back(timed_row("matmul_simd", kN, 1.0, 1, active));
+  std::printf("%-18s %14.0f %9s\n", "matmul_scalar", scalar.median_ns,
+              "1.00x");
+  std::printf("%-18s %14.0f %8.2fx\n", "matmul_simd", active.median_ns,
+              scalar.median_ns / active.median_ns);
+
+  const FMatrix fa = FMatrix::from(a);
+  const FMatrix fb = FMatrix::from(b);
+  FMatrix fout(kN, kN);
+  const bench::TimingStats f32 = bench::measure_ns_per_op([&] {
+    std::fill(fout.data(), fout.data() + fout.size(), 0.0f);
+    fmatmul_accumulate(fa, fb, fout);
+    benchmark::DoNotOptimize(fout.data());
+  });
+  results.push_back(timed_row("fmatmul_f32", kN, 1.0, 1, f32));
+  std::printf("%-18s %14.0f %8.2fx\n", "fmatmul_f32", f32.median_ns,
+              scalar.median_ns / f32.median_ns);
   ThreadPool::set_global_threads(0);
 }
 
@@ -479,13 +516,14 @@ void run_train_step_compare(const bench::BenchOptions& opts,
         }
         benchmark::DoNotOptimize(loss);
       };
-      const double ns = time_ns_per_op(step);
-      results.push_back({sc.name, kNodes, density, ns, threads});
+      const bench::TimingStats stats = bench::measure_ns_per_op(step);
+      const double ns = stats.median_ns;
+      results.push_back(timed_row(sc.name, kNodes, density, threads, stats));
       if (&sc == &kConfigs[0]) base_ns = ns;
       std::printf("%-18s %8zu %14.0f %8.2fx\n", sc.name, threads, ns,
                   base_ns / ns);
       if (threads == 1 && sc.sparse && !sc.guarded) {
-        // Arena health (time_ns_per_op already warmed the pool): tape size
+        // Arena health (measure_ns_per_op already warmed the pool): tape size
         // and pool misses of one more steady-state step.
         const std::size_t misses_before = tape.pool().misses();
         step();
@@ -520,6 +558,7 @@ int main(int argc, char** argv) {
       rihgcn::bench::BenchOptions::parse(argc, argv);
   std::vector<rihgcn::bench::MicroResult> results;
   run_sparse_sweep(opts, results);
+  run_simd_sweep(opts, results);
   run_train_step_compare(opts, results);
   if (!opts.json_path.empty()) {
     rihgcn::bench::write_micro_json(opts.json_path, results);

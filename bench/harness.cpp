@@ -1,6 +1,8 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -276,15 +278,58 @@ void write_micro_json(const std::string& path,
   out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MicroResult& r = results[i];
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
                   "  {\"name\": \"%s\", \"n\": %zu, \"density\": %.6f, "
-                  "\"ns_per_op\": %.1f, \"threads\": %zu}%s\n",
+                  "\"ns_per_op\": %.1f, \"threads\": %zu, \"min_ns\": %.1f, "
+                  "\"stddev_ns\": %.1f}%s\n",
                   r.name.c_str(), r.n, r.density, r.ns_per_op, r.threads,
-                  i + 1 < results.size() ? "," : "");
+                  r.min_ns, r.stddev_ns, i + 1 < results.size() ? "," : "");
     out << line;
   }
   out << "]\n";
+}
+
+TimingStats measure_ns_per_op(const std::function<void()>& fn,
+                              std::size_t windows, double min_window_sec) {
+  fn();  // warmup: touch code and data caches before anything is timed
+  fn();
+  const auto window_sec = [&fn](std::size_t iters) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  // Grow the iteration count until one window is long enough to trust the
+  // clock, then keep it fixed so every window measures the same work.
+  std::size_t iters = 1;
+  double first = window_sec(iters);
+  while (first <= min_window_sec && iters < (std::size_t{1} << 22)) {
+    iters *= 4;
+    first = window_sec(iters);
+  }
+  std::vector<double> per_op;
+  per_op.reserve(windows);
+  per_op.push_back(first * 1e9 / static_cast<double>(iters));
+  while (per_op.size() < std::max<std::size_t>(1, windows)) {
+    per_op.push_back(window_sec(iters) * 1e9 / static_cast<double>(iters));
+  }
+  std::sort(per_op.begin(), per_op.end());
+  TimingStats stats;
+  stats.min_ns = per_op.front();
+  const std::size_t k = per_op.size();
+  stats.median_ns = k % 2 == 1 ? per_op[k / 2]
+                               : 0.5 * (per_op[k / 2 - 1] + per_op[k / 2]);
+  double sum = 0.0;
+  for (const double v : per_op) sum += v;
+  stats.mean_ns = sum / static_cast<double>(k);
+  double var = 0.0;
+  for (const double v : per_op) {
+    const double d = v - stats.mean_ns;
+    var += d * d;
+  }
+  stats.stddev_ns = k > 1 ? std::sqrt(var / static_cast<double>(k - 1)) : 0.0;
+  return stats;
 }
 
 }  // namespace rihgcn::bench

@@ -47,14 +47,34 @@ struct MicroResult {
   std::string name;     ///< e.g. "cheb_dense" / "cheb_spmm"
   std::size_t n = 0;    ///< graph size (nodes)
   double density = 0.0; ///< Laplacian density the kernel saw
-  double ns_per_op = 0.0;
+  double ns_per_op = 0.0;   ///< median over timing windows (gating statistic)
   std::size_t threads = 0;
+  double min_ns = 0.0;      ///< fastest window (least-interference estimate)
+  double stddev_ns = 0.0;   ///< window spread (noise indicator; 0 = counter)
 };
 
 /// Write micro results as a JSON array of objects. Throws std::runtime_error
 /// if the file cannot be opened.
 void write_micro_json(const std::string& path,
                       const std::vector<MicroResult>& results);
+
+/// Per-op timing distribution over repeated fixed-iteration windows.
+struct TimingStats {
+  double min_ns = 0.0;
+  double median_ns = 0.0;
+  double mean_ns = 0.0;
+  double stddev_ns = 0.0;
+};
+
+/// Time `fn` with warmup + median-of-K: after warmup calls, the iteration
+/// count is grown until one window exceeds `min_window_sec`, then `windows`
+/// windows of that fixed count are measured and summarized. The MEDIAN is
+/// the statistic to gate on (tools/check_bench.py): unlike best-of-K's min
+/// it doesn't reward lucky runs, and unlike the mean it shrugs off one
+/// preempted window. min/stddev are reported alongside for diagnosis.
+TimingStats measure_ns_per_op(const std::function<void()>& fn,
+                              std::size_t windows = 5,
+                              double min_window_sec = 0.1);
 
 /// Scale knobs derived from --full.
 struct Scale {

@@ -6,6 +6,7 @@
 
 #include "tensor/csr.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace rihgcn::ad {
 
@@ -153,8 +154,9 @@ Var Tape::add(Var a, Var b) {
     const double* ap = av.data();
     const double* bp = bv.data();
     double* vp = v.data();
-    par_elems(v.size(), [=](std::size_t i0, std::size_t i1) {
-      for (std::size_t i = i0; i < i1; ++i) vp[i] = ap[i] + bp[i];
+    const simd::Kernels& kern = simd::active_kernels();
+    par_elems(v.size(), [=, &kern](std::size_t i0, std::size_t i1) {
+      kern.add_into(vp + i0, ap + i0, bp + i0, i1 - i0);
     });
   }
   Var out = push(std::move(v), rg);
@@ -180,8 +182,9 @@ Var Tape::sub(Var a, Var b) {
     const double* ap = av.data();
     const double* bp = bv.data();
     double* vp = v.data();
-    par_elems(v.size(), [=](std::size_t i0, std::size_t i1) {
-      for (std::size_t i = i0; i < i1; ++i) vp[i] = ap[i] - bp[i];
+    const simd::Kernels& kern = simd::active_kernels();
+    par_elems(v.size(), [=, &kern](std::size_t i0, std::size_t i1) {
+      kern.sub_into(vp + i0, ap + i0, bp + i0, i1 - i0);
     });
   }
   Var out = push(std::move(v), rg);
@@ -207,8 +210,9 @@ Var Tape::mul(Var a, Var b) {
     const double* ap = av.data();
     const double* bp = bv.data();
     double* vp = v.data();
-    par_elems(v.size(), [=](std::size_t i0, std::size_t i1) {
-      for (std::size_t i = i0; i < i1; ++i) vp[i] = ap[i] * bp[i];
+    const simd::Kernels& kern = simd::active_kernels();
+    par_elems(v.size(), [=, &kern](std::size_t i0, std::size_t i1) {
+      kern.mul_into(vp + i0, ap + i0, bp + i0, i1 - i0);
     });
   }
   Var out = push(std::move(v), rg);
@@ -216,18 +220,19 @@ Var Tape::mul(Var a, Var b) {
   nodes_[io].backward = [ia, ib, io](Tape& t) {
     const Matrix& g = t.grad_ref(io);
     const double* gp = g.data();
+    const simd::Kernels& kern = simd::active_kernels();
     if (t.node(ia).requires_grad) {
       const double* bp = t.node(ib).value.data();
       double* gap = t.grad_ref(ia).data();
-      par_elems(g.size(), [=](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) gap[i] += gp[i] * bp[i];
+      par_elems(g.size(), [=, &kern](std::size_t i0, std::size_t i1) {
+        kern.fmadd(gap + i0, gp + i0, bp + i0, i1 - i0);
       });
     }
     if (t.node(ib).requires_grad) {
       const double* ap = t.node(ia).value.data();
       double* gbp = t.grad_ref(ib).data();
-      par_elems(g.size(), [=](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) gbp[i] += gp[i] * ap[i];
+      par_elems(g.size(), [=, &kern](std::size_t i0, std::size_t i1) {
+        kern.fmadd(gbp + i0, gp + i0, ap + i0, i1 - i0);
       });
     }
   };
@@ -252,8 +257,9 @@ Var Tape::scale(Var a, double s) {
     const double* gp = t.grad_ref(io).data();
     Matrix& ga = t.grad_ref(ia);
     double* gap = ga.data();
-    par_elems(ga.size(), [=](std::size_t i0, std::size_t i1) {
-      for (std::size_t i = i0; i < i1; ++i) gap[i] += gp[i] * s;
+    const simd::Kernels& kern = simd::active_kernels();
+    par_elems(ga.size(), [=, &kern](std::size_t i0, std::size_t i1) {
+      kern.axpy(gap + i0, s, gp + i0, i1 - i0);
     });
   };
   return out;
@@ -968,15 +974,15 @@ Tape::LstmState Tape::lstm_cell(Var x, Var h_prev, Var c_prev, Var w_ih,
     const double* gp = nodes_[ig].value.data();
     const double* cp = nodes_[icp].value.data();
     double* op = cnew.data();
-    par_rows(n, hd, [=](std::size_t r0, std::size_t r1) {
+    const simd::Kernels& kern = simd::active_kernels();
+    par_rows(n, hd, [=, &kern](std::size_t r0, std::size_t r1) {
       for (std::size_t r = r0; r < r1; ++r) {
         const std::size_t b4 = r * g4;
         const std::size_t bh = r * hd;
-        for (std::size_t c = 0; c < hd; ++c) {
-          const double fc = gp[b4 + hd + c] * cp[bh + c];
-          const double iga = gp[b4 + c] * gp[b4 + 3 * hd + c];
-          op[bh + c] = fc + iga;
-        }
+        // f ⊙ c_prev + i ⊙ g with both products rounded separately, as the
+        // unfused mul/mul/add chain does.
+        kern.mul2_add(op + bh, gp + b4 + hd, cp + bh, gp + b4,
+                      gp + b4 + 3 * hd, hd);
       }
     });
   }
@@ -1034,18 +1040,19 @@ Tape::LstmState Tape::lstm_cell(Var x, Var h_prev, Var c_prev, Var w_ih,
     double* dgp = t.grad_ref(ig).data();
     const bool need_cp = t.node(icp).requires_grad;
     double* dcp = need_cp ? t.grad_ref(icp).data() : nullptr;
-    par_rows(gc.rows(), hd, [=](std::size_t r0, std::size_t r1) {
+    const simd::Kernels& kern = simd::active_kernels();
+    par_rows(gc.rows(), hd, [=, &kern](std::size_t r0, std::size_t r1) {
+      // Each target below is a distinct accumulator, so splitting the
+      // per-element loop into per-segment fmadd sweeps keeps every
+      // accumulator's contribution order unchanged.
       for (std::size_t r = r0; r < r1; ++r) {
         const std::size_t b4 = r * g4;
         const std::size_t bh = r * hd;
-        for (std::size_t c = 0; c < hd; ++c) {
-          const double g = gcp[bh + c];
-          dgp[b4 + c] += g * gvp[b4 + 3 * hd + c];      // di += g ⊙ g_gate
-          dgp[b4 + 3 * hd + c] += g * gvp[b4 + c];      // dg += g ⊙ i
-          dgp[b4 + hd + c] += g * cpp[bh + c];          // df += g ⊙ c_prev
-          if (dcp != nullptr) {
-            dcp[bh + c] += g * gvp[b4 + hd + c];        // dc_prev += g ⊙ f
-          }
+        kern.fmadd(dgp + b4, gcp + bh, gvp + b4 + 3 * hd, hd);  // di += g⊙g_gate
+        kern.fmadd(dgp + b4 + 3 * hd, gcp + bh, gvp + b4, hd);  // dg += g⊙i
+        kern.fmadd(dgp + b4 + hd, gcp + bh, cpp + bh, hd);      // df += g⊙c_prev
+        if (dcp != nullptr) {
+          kern.fmadd(dcp + bh, gcp + bh, gvp + b4 + hd, hd);    // dc_prev += g⊙f
         }
       }
     });

@@ -4,8 +4,8 @@
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
-#include <thread>
 
+#include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
 
 namespace rihgcn::core {
@@ -28,16 +28,26 @@ std::vector<std::size_t> subsample(const std::vector<std::size_t>& all,
   return out;
 }
 
-/// Forward/backward over batch windows [pos, batch_end) using `workers`
-/// threads, each with a private gradient sink and a private arena tape from
-/// `tapes` (reused via reset() across windows and batches); sinks reduce
-/// into the parameters in worker order. Returns the summed batch loss.
+/// Forward/backward over batch windows [pos, batch_end) with per-worker
+/// batch granularity on `pool` (one persistent crew per train_model call —
+/// no thread spawn/join per batch). Chunk w of the grain-1 parallel_for IS
+/// worker w: it owns a private gradient sink, a private arena tape from
+/// `tapes` (reused via reset() across windows and batches), and the strided
+/// window slice {pos+w, pos+w+workers, ...}. Because chunk bodies run under
+/// the pool's reentrancy guard, every tensor kernel inside executes inline —
+/// all parallelism is at batch granularity, none is wasted on intra-kernel
+/// splits that BENCH_micro.json showed going flat. Sinks reduce into the
+/// parameters in ascending worker order, and kernel results are
+/// thread-count-invariant by the DESIGN.md §8 contract, so the result is
+/// bitwise identical to any schedule with the same `workers` count (the
+/// checkpoint determinism contract keys on num_threads for the slice
+/// assignment alone). Returns the summed batch loss.
 double parallel_batch_gradients(ForecastModel& model,
                                 const data::WindowSampler& sampler,
                                 const std::vector<std::size_t>& train_idx,
                                 const std::vector<std::size_t>& order,
                                 std::size_t pos, std::size_t batch_end,
-                                std::size_t workers,
+                                std::size_t workers, ThreadPool& pool,
                                 std::vector<std::unique_ptr<ad::Tape>>& tapes) {
   const std::size_t count = batch_end - pos;
   workers = std::min(workers, count);
@@ -46,30 +56,16 @@ double parallel_batch_gradients(ForecastModel& model,
   }
   std::vector<ad::Tape::GradSink> sinks(workers);
   std::vector<double> losses(workers, 0.0);
-  std::vector<std::exception_ptr> errors(workers);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] {
-      try {
-        // Contiguous slice per worker: deterministic assignment.
-        for (std::size_t b = pos + w; b < batch_end; b += workers) {
-          const data::Window window = sampler.make_window(train_idx[order[b]]);
-          ad::Tape& tape = *tapes[w];
-          tape.reset();
-          ad::Var loss = model.training_loss(tape, window);
-          losses[w] += tape.value(loss)(0, 0);
-          tape.backward_into(loss, sinks[w]);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  pool.parallel_for(0, workers, 1, [&](std::size_t w, std::size_t) {
+    for (std::size_t b = pos + w; b < batch_end; b += workers) {
+      const data::Window window = sampler.make_window(train_idx[order[b]]);
+      ad::Tape& tape = *tapes[w];
+      tape.reset();
+      ad::Var loss = model.training_loss(tape, window);
+      losses[w] += tape.value(loss)(0, 0);
+      tape.backward_into(loss, sinks[w]);
+    }
+  });
   double total_loss = 0.0;
   for (std::size_t w = 0; w < workers; ++w) {
     total_loss += losses[w];
@@ -168,6 +164,11 @@ TrainReport train_model(ForecastModel& model,
   // path; the serial path uses the first.
   ad::Tape serial_tape;
   std::vector<std::unique_ptr<ad::Tape>> worker_tapes;
+  // Dedicated persistent crew for the data-parallel batch workers, sized to
+  // the configured count (NOT the global pool: its size is a determinism
+  // input recorded in checkpoints, so it must not be clamped or shared).
+  // Constructed once per training run; a size-1 pool spawns no threads.
+  ThreadPool batch_pool(config.num_threads);
   const std::size_t checkpoint_every =
       std::max<std::size_t>(1, config.checkpoint_every);
   for (std::size_t epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
@@ -197,7 +198,7 @@ TrainReport train_model(ForecastModel& model,
       } else {
         batch_loss = parallel_batch_gradients(
             model, sampler, train_idx, order, pos, batch_end,
-            config.num_threads, worker_tapes);
+            config.num_threads, batch_pool, worker_tapes);
       }
       // Average the accumulated gradient over the batch.
       const double inv = 1.0 / static_cast<double>(batch_end - pos);

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace rihgcn {
 
@@ -55,67 +56,6 @@ void for_rows(std::size_t rows, std::size_t flops, Body&& body) {
   }
   pool.parallel_for(0, rows, ParallelTuning::matmul_row_grain,
                     ThreadPool::RangeBody(std::forward<Body>(body)));
-}
-
-// Cache-blocked matmul over output rows [i0, i1): C += A * B with a 4x4
-// register tile and k innermost. Every C element accumulates its k-terms in
-// ascending order seeded from the existing C value — the exact per-element
-// arithmetic of the naive i-k-j kernel — so the result is bitwise identical
-// to the serial reference and independent of how rows are partitioned.
-void matmul_block_rows(const double* ap, const double* bp, double* cp,
-                       std::size_t k, std::size_t m, std::size_t i0,
-                       std::size_t i1) {
-  std::size_t i = i0;
-  for (; i + 4 <= i1; i += 4) {
-    const double* a0 = ap + (i + 0) * k;
-    const double* a1 = ap + (i + 1) * k;
-    const double* a2 = ap + (i + 2) * k;
-    const double* a3 = ap + (i + 3) * k;
-    double* c0 = cp + (i + 0) * m;
-    double* c1 = cp + (i + 1) * m;
-    double* c2 = cp + (i + 2) * m;
-    double* c3 = cp + (i + 3) * m;
-    std::size_t j = 0;
-    for (; j + 4 <= m; j += 4) {
-      double t00 = c0[j], t01 = c0[j + 1], t02 = c0[j + 2], t03 = c0[j + 3];
-      double t10 = c1[j], t11 = c1[j + 1], t12 = c1[j + 2], t13 = c1[j + 3];
-      double t20 = c2[j], t21 = c2[j + 1], t22 = c2[j + 2], t23 = c2[j + 3];
-      double t30 = c3[j], t31 = c3[j + 1], t32 = c3[j + 2], t33 = c3[j + 3];
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double* brow = bp + kk * m + j;
-        const double b0 = brow[0], b1 = brow[1], b2 = brow[2], b3 = brow[3];
-        const double av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
-        t00 += av0 * b0; t01 += av0 * b1; t02 += av0 * b2; t03 += av0 * b3;
-        t10 += av1 * b0; t11 += av1 * b1; t12 += av1 * b2; t13 += av1 * b3;
-        t20 += av2 * b0; t21 += av2 * b1; t22 += av2 * b2; t23 += av2 * b3;
-        t30 += av3 * b0; t31 += av3 * b1; t32 += av3 * b2; t33 += av3 * b3;
-      }
-      c0[j] = t00; c0[j + 1] = t01; c0[j + 2] = t02; c0[j + 3] = t03;
-      c1[j] = t10; c1[j + 1] = t11; c1[j + 2] = t12; c1[j + 3] = t13;
-      c2[j] = t20; c2[j + 1] = t21; c2[j + 2] = t22; c2[j + 3] = t23;
-      c3[j] = t30; c3[j + 1] = t31; c3[j + 2] = t32; c3[j + 3] = t33;
-    }
-    for (; j < m; ++j) {
-      double t0 = c0[j], t1 = c1[j], t2 = c2[j], t3 = c3[j];
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double b0 = bp[kk * m + j];
-        t0 += a0[kk] * b0;
-        t1 += a1[kk] * b0;
-        t2 += a2[kk] * b0;
-        t3 += a3[kk] * b0;
-      }
-      c0[j] = t0; c1[j] = t1; c2[j] = t2; c3[j] = t3;
-    }
-  }
-  for (; i < i1; ++i) {
-    const double* arow = ap + i * k;
-    double* crow = cp + i * m;
-    for (std::size_t j = 0; j < m; ++j) {
-      double t = crow[j];
-      for (std::size_t kk = 0; kk < k; ++kk) t += arow[kk] * bp[kk * m + j];
-      crow[j] = t;
-    }
-  }
 }
 
 }  // namespace
@@ -175,8 +115,9 @@ Matrix& Matrix::operator+=(const Matrix& other) {
   if (!same_shape(other)) throw_shape("operator+=", *this, other);
   double* dst = data_.data();
   const double* src = other.data_.data();
-  for_elems(data_.size(), [dst, src](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) dst[i] += src[i];
+  const simd::Kernels& kern = simd::active_kernels();
+  for_elems(data_.size(), [dst, src, &kern](std::size_t b, std::size_t e) {
+    kern.add(dst + b, src + b, e - b);
   });
   return *this;
 }
@@ -185,16 +126,18 @@ Matrix& Matrix::operator-=(const Matrix& other) {
   if (!same_shape(other)) throw_shape("operator-=", *this, other);
   double* dst = data_.data();
   const double* src = other.data_.data();
-  for_elems(data_.size(), [dst, src](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) dst[i] -= src[i];
+  const simd::Kernels& kern = simd::active_kernels();
+  for_elems(data_.size(), [dst, src, &kern](std::size_t b, std::size_t e) {
+    kern.sub(dst + b, src + b, e - b);
   });
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
   double* dst = data_.data();
-  for_elems(data_.size(), [dst, s](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) dst[i] *= s;
+  const simd::Kernels& kern = simd::active_kernels();
+  for_elems(data_.size(), [dst, s, &kern](std::size_t b, std::size_t e) {
+    kern.scale(dst + b, s, e - b);
   });
   return *this;
 }
@@ -203,8 +146,9 @@ Matrix& Matrix::hadamard_inplace(const Matrix& other) {
   if (!same_shape(other)) throw_shape("hadamard_inplace", *this, other);
   double* dst = data_.data();
   const double* src = other.data_.data();
-  for_elems(data_.size(), [dst, src](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) dst[i] *= src[i];
+  const simd::Kernels& kern = simd::active_kernels();
+  for_elems(data_.size(), [dst, src, &kern](std::size_t b, std::size_t e) {
+    kern.mul(dst + b, src + b, e - b);
   });
   return *this;
 }
@@ -380,9 +324,13 @@ void matmul_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   const double* ap = a.data();
   const double* bp = b.data();
   double* cp = out.data();
-  for_rows(n, n * k * m, [ap, bp, cp, k, m](std::size_t i0, std::size_t i1) {
-    matmul_block_rows(ap, bp, cp, k, m, i0, i1);
-  });
+  // The blocked row kernel lives in the SIMD dispatch table (tensor/simd.hpp);
+  // scalar and AVX2 variants produce identical bits by contract.
+  const simd::Kernels& kern = simd::active_kernels();
+  for_rows(n, n * k * m,
+           [ap, bp, cp, k, m, &kern](std::size_t i0, std::size_t i1) {
+             kern.matmul_rows(ap, bp, cp, k, m, i0, i1);
+           });
 }
 
 namespace detail {
@@ -428,6 +376,9 @@ void matmul_bt_into(const Matrix& a, const Matrix& b, Matrix& out) {
   double* op = out.data();
   // Row-partitioned; each dot product accumulates k-terms in ascending
   // order with a single accumulator, matching the serial kernel exactly.
+  // Stays scalar even under SIMD dispatch: vectorizing over k would split
+  // the single accumulator into lanes (reassociation), breaking the bitwise
+  // contract. The matmul/matmul_at/spmm hot paths don't have this shape.
   for_rows(rows, rows * cols * k,
            [ap, bp, op, k, cols](std::size_t i0, std::size_t i1) {
              for (std::size_t i = i0; i < i1; ++i) {
@@ -461,18 +412,20 @@ void matmul_at_accumulate(const Matrix& a, const Matrix& b, Matrix& out) {
   double* op = out.data();
   // Partitioned over output rows i (columns of A); the reduction dimension r
   // stays innermost-ascending per element, so any row partition gives the
-  // same bits as the serial r-outer seed kernel.
-  for_rows(p, n * p * m, [ap, bp, op, n, p, m](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      double* orow = op + i * m;
-      for (std::size_t r = 0; r < n; ++r) {
-        const double av = ap[r * p + i];
-        if (av == 0.0) continue;
-        const double* brow = bp + r * m;
-        for (std::size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-      }
-    }
-  });
+  // same bits as the serial r-outer seed kernel. The row update is the SIMD
+  // axpy — lanes hold independent j-columns, so vectorizing keeps bits.
+  const simd::Kernels& kern = simd::active_kernels();
+  for_rows(p, n * p * m,
+           [ap, bp, op, n, p, m, &kern](std::size_t i0, std::size_t i1) {
+             for (std::size_t i = i0; i < i1; ++i) {
+               double* orow = op + i * m;
+               for (std::size_t r = 0; r < n; ++r) {
+                 const double av = ap[r * p + i];
+                 if (av == 0.0) continue;
+                 kern.axpy(orow, av, bp + r * m, m);
+               }
+             }
+           });
 }
 
 Matrix operator+(const Matrix& a, const Matrix& b) {

@@ -1,9 +1,12 @@
 #include "tensor/parallel.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 namespace rihgcn {
 
@@ -245,25 +248,37 @@ void ThreadPool::set_global_threads(std::size_t n) {
   g_pool.store(g_pool_owner.get(), std::memory_order_release);
 }
 
-std::size_t ThreadPool::threads_from_env() noexcept {
-  if (const char* env = std::getenv("RIHGCN_THREADS")) {
-    char* endp = nullptr;
-    const unsigned long v = std::strtoul(env, &endp, 10);
-    if (endp != env && *endp == '\0' && v > 0 && v <= 1024) {
-      return static_cast<std::size_t>(v);
-    }
+std::size_t ThreadPool::threads_from_env() {
+  const char* env = std::getenv("RIHGCN_THREADS");
+  if (env == nullptr || *env == '\0') {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  // A set-but-invalid value is a configuration error; silently falling back
+  // to hardware_concurrency made "RIHGCN_THREADS=O4" run 64-wide on a big
+  // box without anyone noticing.
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(env, &endp, 10);
+  if (endp == env || *endp != '\0' || errno == ERANGE || v == 0 || v > 1024) {
+    throw std::runtime_error(
+        std::string("RIHGCN_THREADS must be an integer in [1, 1024], got '") +
+        env + "'");
+  }
+  return static_cast<std::size_t>(v);
 }
 
 // ---- Tuning ---------------------------------------------------------------
 
 namespace {
-constexpr std::size_t kDefaultMinElems = std::size_t{1} << 15;
-constexpr std::size_t kDefaultElemGrain = std::size_t{1} << 14;
-constexpr std::size_t kDefaultMinMatmulFlops = std::size_t{1} << 18;
-constexpr std::size_t kDefaultMatmulRowGrain = 8;
+// Coarsened from the seed values (32k/16k elems, 256k flops, 8 rows) after
+// BENCH_micro.json showed dispatch overhead eating the win at small N: a
+// chunk now carries enough work (~tens of µs) that claiming it costs a
+// fraction of running it, and small matrices stay on the serial path.
+constexpr std::size_t kDefaultMinElems = std::size_t{1} << 16;
+constexpr std::size_t kDefaultElemGrain = std::size_t{1} << 15;
+constexpr std::size_t kDefaultMinMatmulFlops = std::size_t{1} << 19;
+constexpr std::size_t kDefaultMatmulRowGrain = 16;
 }  // namespace
 
 std::size_t ParallelTuning::min_elems = kDefaultMinElems;

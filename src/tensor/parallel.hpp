@@ -14,9 +14,10 @@
 //    the thread count either (it does depend on `grain`, which is fixed).
 //
 // Sizing: the process-wide pool (ThreadPool::global()) reads the
-// RIHGCN_THREADS environment variable once at first use; unset/invalid
-// values fall back to std::thread::hardware_concurrency(). A pool of size N
-// spawns N-1 workers — the thread that calls parallel_for participates.
+// RIHGCN_THREADS environment variable once at first use; unset falls back to
+// std::thread::hardware_concurrency(), while a set-but-invalid value throws
+// (see threads_from_env). A pool of size N spawns N-1 workers — the thread
+// that calls parallel_for participates.
 #pragma once
 
 #include <atomic>
@@ -89,8 +90,10 @@ class ThreadPool {
   /// Callers must quiesce kernel activity first: the old pool is joined
   /// and destroyed. Intended for tests and benchmarks.
   static void set_global_threads(std::size_t n);
-  /// RIHGCN_THREADS if set to a positive integer, else hardware concurrency.
-  [[nodiscard]] static std::size_t threads_from_env() noexcept;
+  /// RIHGCN_THREADS if set, else hardware concurrency. A set-but-invalid
+  /// value (0, non-numeric, > 1024) throws std::runtime_error rather than
+  /// silently falling back — a typo'd thread count should fail loudly.
+  [[nodiscard]] static std::size_t threads_from_env();
 
  private:
   struct RangeJob;

@@ -1,0 +1,305 @@
+// AVX2 kernel table. This TU is the only one compiled with -mavx2 -mfma
+// (plus -ffp-contract=off, see src/tensor/CMakeLists.txt) — nothing here may
+// leak into a header.
+//
+// Double kernels honour the bitwise contract: lanes carry INDEPENDENT output
+// elements, each accumulated with explicit _mm256_mul_pd + _mm256_add_pd (one
+// rounding per op, same as scalar). No FMA, no horizontal reductions. Scalar
+// tails run the identical expression, so results match the scalar table bit
+// for bit. Float kernels are the serving path and use _mm256_fmadd_ps freely
+// under the ULP contract.
+#include "tensor/simd.hpp"
+
+#include <cmath>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RIHGCN_HAVE_AVX2_TU 1
+#include <immintrin.h>
+#endif
+
+namespace rihgcn::simd {
+
+#if defined(RIHGCN_HAVE_AVX2_TU)
+
+namespace {
+
+void v_add(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                                          _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void v_sub(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_sub_pd(_mm256_loadu_pd(y + i),
+                                          _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= x[i];
+}
+
+void v_mul(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i),
+                                          _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void v_scale(double* y, double s, std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), vs));
+  }
+  for (; i < n; ++i) y[i] *= s;
+}
+
+void v_add_into(double* out, const double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void v_sub_into(double* out, const double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void v_mul_into(double* out, const double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+// y[i] += round(a * x[i]) — mul then add, matching the scalar tail exactly.
+void v_axpy(double* y, double a, const double* x, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void v_fmadd(double* y, const double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a[i] * b[i];
+}
+
+void v_mul2_add(double* out, const double* a, const double* b, const double* c,
+                const double* d, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ab =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d cd =
+        _mm256_mul_pd(_mm256_loadu_pd(c + i), _mm256_loadu_pd(d + i));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(ab, cd));
+  }
+  for (; i < n; ++i) {
+    const double ab = a[i] * b[i];
+    const double cd = c[i] * d[i];
+    out[i] = ab + cd;
+  }
+}
+
+// C += A·B over rows [i0, i1). Lanes hold 4 adjacent j-columns of one output
+// row; k advances in ascending order with broadcast a_ik, so each element
+// sees exactly the scalar kernel's rounding sequence.
+void v_matmul_rows(const double* ap, const double* bp, double* cp,
+                   std::size_t k, std::size_t m, std::size_t i0,
+                   std::size_t i1) {
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* a0 = ap + (i + 0) * k;
+    const double* a1 = ap + (i + 1) * k;
+    const double* a2 = ap + (i + 2) * k;
+    const double* a3 = ap + (i + 3) * k;
+    double* c0 = cp + (i + 0) * m;
+    double* c1 = cp + (i + 1) * m;
+    double* c2 = cp + (i + 2) * m;
+    double* c3 = cp + (i + 3) * m;
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      __m256d t0 = _mm256_loadu_pd(c0 + j);
+      __m256d t1 = _mm256_loadu_pd(c1 + j);
+      __m256d t2 = _mm256_loadu_pd(c2 + j);
+      __m256d t3 = _mm256_loadu_pd(c3 + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d bv = _mm256_loadu_pd(bp + kk * m + j);
+        t0 = _mm256_add_pd(t0, _mm256_mul_pd(_mm256_set1_pd(a0[kk]), bv));
+        t1 = _mm256_add_pd(t1, _mm256_mul_pd(_mm256_set1_pd(a1[kk]), bv));
+        t2 = _mm256_add_pd(t2, _mm256_mul_pd(_mm256_set1_pd(a2[kk]), bv));
+        t3 = _mm256_add_pd(t3, _mm256_mul_pd(_mm256_set1_pd(a3[kk]), bv));
+      }
+      _mm256_storeu_pd(c0 + j, t0);
+      _mm256_storeu_pd(c1 + j, t1);
+      _mm256_storeu_pd(c2 + j, t2);
+      _mm256_storeu_pd(c3 + j, t3);
+    }
+    for (; j < m; ++j) {
+      double t0 = c0[j], t1 = c1[j], t2 = c2[j], t3 = c3[j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double b0 = bp[kk * m + j];
+        t0 += a0[kk] * b0;
+        t1 += a1[kk] * b0;
+        t2 += a2[kk] * b0;
+        t3 += a3[kk] * b0;
+      }
+      c0[j] = t0; c1[j] = t1; c2[j] = t2; c3[j] = t3;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* arow = ap + i * k;
+    double* crow = cp + i * m;
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      __m256d t = _mm256_loadu_pd(crow + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        t = _mm256_add_pd(t, _mm256_mul_pd(_mm256_set1_pd(arow[kk]),
+                                           _mm256_loadu_pd(bp + kk * m + j)));
+      }
+      _mm256_storeu_pd(crow + j, t);
+    }
+    for (; j < m; ++j) {
+      double t = crow[j];
+      for (std::size_t kk = 0; kk < k; ++kk) t += arow[kk] * bp[kk * m + j];
+      crow[j] = t;
+    }
+  }
+}
+
+// C += S·B over rows [i0, i1), S in CSR. j-tile outer, p inner: the 4-lane
+// accumulator stays in a register across the whole row's nonzeros. Per
+// element that is still "seed from C, add round(v_p * b_pj) for ascending p"
+// — identical rounding sequence to the scalar kernel's p-outer loop, so the
+// bitwise contract holds (loop nesting only reorders independent elements).
+void v_spmm_rows(const std::size_t* row_ptr, const std::size_t* col_idx,
+                 const double* vals, const double* b, double* c, std::size_t m,
+                 std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    double* crow = c + i * m;
+    const std::size_t p0 = row_ptr[i];
+    const std::size_t p1 = row_ptr[i + 1];
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      __m256d acc = _mm256_loadu_pd(crow + j);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const __m256d bv = _mm256_loadu_pd(b + col_idx[p] * m + j);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(vals[p]), bv));
+      }
+      _mm256_storeu_pd(crow + j, acc);
+    }
+    for (; j < m; ++j) {
+      double acc = crow[j];
+      for (std::size_t p = p0; p < p1; ++p) {
+        acc += vals[p] * b[col_idx[p] * m + j];
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+// ---- float serving kernels (ULP contract — FMA on) -------------------------
+
+void v_saxpy(float* y, float a, const float* x, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] = std::fmaf(a, x[i], y[i]);
+}
+
+void v_smatmul_rows(const float* ap, const float* bp, float* cp, std::size_t k,
+                    std::size_t m, std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* arow = ap + i * k;
+    float* crow = cp + i * m;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = bp + kk * m;
+      const __m256 va = _mm256_set1_ps(av);
+      std::size_t j = 0;
+      for (; j + 8 <= m; j += 8) {
+        _mm256_storeu_ps(
+            crow + j, _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + j),
+                                      _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < m; ++j) crow[j] = std::fmaf(av, brow[j], crow[j]);
+    }
+  }
+}
+
+void v_sspmm_rows(const std::size_t* row_ptr, const std::size_t* col_idx,
+                  const float* vals, const float* b, float* c, std::size_t m,
+                  std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* crow = c + i * m;
+    const std::size_t p0 = row_ptr[i];
+    const std::size_t p1 = row_ptr[i + 1];
+    std::size_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      for (std::size_t p = p0; p < p1; ++p) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(vals[p]),
+                              _mm256_loadu_ps(b + col_idx[p] * m + j), acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    for (; j < m; ++j) {
+      float acc = crow[j];
+      for (std::size_t p = p0; p < p1; ++p) {
+        acc = std::fmaf(vals[p], b[col_idx[p] * m + j], acc);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+constexpr Kernels kAvx2Kernels = {
+    v_add,   v_sub,      v_mul,         v_scale,  v_add_into,
+    v_sub_into, v_mul_into, v_axpy,     v_fmadd,  v_mul2_add,
+    v_matmul_rows, v_spmm_rows, v_saxpy, v_smatmul_rows, v_sspmm_rows,
+};
+
+}  // namespace
+
+const Kernels* avx2_kernels_or_null() noexcept {
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &kAvx2Kernels;
+  }
+  return nullptr;
+}
+
+#else  // !RIHGCN_HAVE_AVX2_TU
+
+const Kernels* avx2_kernels_or_null() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace rihgcn::simd

@@ -101,17 +101,28 @@ TEST(ThreadPool, ThreadsFromEnvParsesPositiveInteger) {
 }
 
 TEST(ThreadPool, ThreadsFromEnvRejectsInvalidValues) {
-  const std::size_t hw =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // A set-but-invalid RIHGCN_THREADS must fail loudly, not silently fall
+  // back to hardware concurrency ("RIHGCN_THREADS=O4" hiding as auto-size).
   {
     EnvVarGuard env("RIHGCN_THREADS", "0");
-    EXPECT_EQ(ThreadPool::threads_from_env(), hw);
+    EXPECT_THROW(ThreadPool::threads_from_env(), std::runtime_error);
   }
   {
     EnvVarGuard env("RIHGCN_THREADS", "not-a-number");
-    EXPECT_EQ(ThreadPool::threads_from_env(), hw);
+    EXPECT_THROW(ThreadPool::threads_from_env(), std::runtime_error);
   }
   {
+    EnvVarGuard env("RIHGCN_THREADS", "4x");  // trailing garbage
+    EXPECT_THROW(ThreadPool::threads_from_env(), std::runtime_error);
+  }
+  {
+    EnvVarGuard env("RIHGCN_THREADS", "99999");  // above the 1024 cap
+    EXPECT_THROW(ThreadPool::threads_from_env(), std::runtime_error);
+  }
+  {
+    // Unset (and empty) still auto-size to hardware concurrency.
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
     EnvVarGuard env("RIHGCN_THREADS", nullptr);
     EXPECT_EQ(ThreadPool::threads_from_env(), hw);
   }
