@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -436,6 +437,91 @@ void run_simd_sweep(const bench::BenchOptions& opts,
   ThreadPool::set_global_threads(0);
 }
 
+// ---- Pruned DTW graph construction sweep (DESIGN.md §13) -------------------
+
+// Diurnal series in a few phase/amplitude clusters — the structure the
+// LB_Kim/LB_Keogh bounds exploit (random walks would prune far less).
+Matrix make_dtw_series(std::size_t n, std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix s(n, len);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 0.8 * static_cast<double>(i % 8);
+    const double amp = 1.0 + 0.2 * static_cast<double>(i % 5);
+    for (std::size_t t = 0; t < len; ++t) {
+      s(i, t) = amp * std::sin(0.26 * static_cast<double>(t) + phase) +
+                0.1 * rng.normal();
+    }
+  }
+  return s;
+}
+
+// Temporal-graph construction, legacy vs pruned pipeline, end to end
+// (distance scan -> k-NN selection -> Gaussian CSR adjacency).
+// `dtw_graph_exact` is the old dense pipeline exactly as dense-mode
+// hetero_graphs runs it: the full N x N unbanded-DTW matrix, then row
+// sparsification. `dtw_graph_pruned` is ts::knn_series_graph at the sparse
+// pipeline's recommended city-scale configuration (Sakoe-Chiba band 4,
+// LB_Kim/LB_Keogh + early abandon, no N x N matrix). At EQUAL band the
+// pruned scan returns bitwise-identical graphs to the exact scan
+// (tests/test_knn_graph.cpp); the band itself is a config choice of the new
+// pipeline that the legacy path never supported. The dense baseline is only
+// run at N=1024 — its cost extrapolates as N² — and the acceptance target is
+// pruned@4096 at >= 5x the 16x-extrapolated exact@1024 time.
+void run_dtw_graph_sweep(const bench::BenchOptions& opts,
+                         std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kLen = 24;
+  constexpr std::size_t kK = 8;
+  constexpr std::ptrdiff_t kBand = 4;
+  std::printf("\nDTW k-NN graph construction, T=%zu, k=%zu (pruned band %td)\n",
+              kLen, kK, kBand);
+  std::printf("%-18s %6s %8s %14s\n", "path", "N", "threads", "ns/op");
+  ThreadPool::set_global_threads(1);
+  double exact_1024_ns = 0.0;
+  {
+    constexpr std::size_t kN = 1024;
+    const Matrix s = make_dtw_series(kN, kLen, opts.seed + 3);
+    const bench::TimingStats exact = bench::measure_ns_per_op([&] {
+      const Matrix d = ts::pairwise_series_distance(s, ts::SeriesDistance::kDtw);
+      const CsrMatrix adj =
+          graph::gaussian_knn_adjacency(graph::knn_from_distances(d, kK));
+      benchmark::DoNotOptimize(adj.nnz());
+    });
+    exact_1024_ns = exact.median_ns;
+    results.push_back(timed_row("dtw_graph_exact", kN, 1.0, 1, exact));
+    std::printf("%-18s %6zu %8d %14.0f\n", "dtw_graph_exact", kN, 1,
+                exact.median_ns);
+  }
+  for (const std::size_t n : {std::size_t{1024}, std::size_t{4096}}) {
+    const Matrix s = make_dtw_series(n, kLen, opts.seed + 3);
+    for (const std::size_t threads : {1, 4}) {
+      if (n == 1024 && threads != 1) continue;  // 1T suffices for the ratio
+      ThreadPool::set_global_threads(threads);
+      ts::KnnOptions kopts;
+      kopts.k = kK;
+      kopts.band = kBand;
+      kopts.prune = true;
+      const bench::TimingStats pruned = bench::measure_ns_per_op([&] {
+        const CsrMatrix adj =
+            graph::gaussian_knn_adjacency(ts::knn_series_graph(s, kopts));
+        benchmark::DoNotOptimize(adj.nnz());
+      });
+      const double density =
+          static_cast<double>(n * n) /
+          static_cast<double>(1024 * 1024);  // N² work scale vs the baseline
+      results.push_back(
+          timed_row("dtw_graph_pruned", n, density, threads, pruned));
+      std::printf("%-18s %6zu %8zu %14.0f\n", "dtw_graph_pruned", n, threads,
+                  pruned.median_ns);
+      if (n == 4096 && threads == 1 && exact_1024_ns > 0.0) {
+        // Extrapolated dense cost at 4096 = 16x the measured 1024 baseline.
+        std::printf("  pruned@4096 vs 16x-extrapolated exact: %.1fx faster\n",
+                    16.0 * exact_1024_ns / pruned.median_ns);
+      }
+    }
+  }
+  ThreadPool::set_global_threads(0);
+}
+
 // End-to-end view: one RIHGCN train step (forward + backward) with the
 // sparse backend on vs off and the fused recurrent cells on vs off, same
 // parameters and data. The step runs on a hoisted arena tape (reset() per
@@ -543,6 +629,34 @@ void run_train_step_compare(const bench::BenchOptions& opts,
         }
       }
     }
+    // Partitioned (Cluster-GCN) step: same window swept as 8 per-cluster
+    // sub-graph losses (DESIGN.md §13). More total work than one full-graph
+    // step at this small N (halo overlap + per-cluster fixed costs) — the
+    // mode pays off when N x N no longer fits, so this row tracks the
+    // overhead factor rather than a speedup.
+    {
+      core::RihgcnConfig mc;
+      mc.lookback = 6;
+      mc.horizon = 3;
+      mc.gcn_dim = 8;
+      mc.lstm_dim = 8;
+      core::RihgcnModel model(graphs, kNodes, ds.num_features(), mc);
+      model.prepare_clusters(8, opts.seed);
+      ad::Tape tape;
+      const bench::TimingStats stats = bench::measure_ns_per_op([&] {
+        for (ad::Parameter* p : model.parameters()) p->zero_grad();
+        for (std::size_t c = 0; c < model.num_clusters(); ++c) {
+          tape.reset();
+          ad::Var loss = model.cluster_training_loss(tape, w, c);
+          tape.backward(loss);
+          benchmark::DoNotOptimize(loss);
+        }
+      });
+      results.push_back(
+          timed_row("train_step_clustered", kNodes, density, threads, stats));
+      std::printf("%-18s %8zu %14.0f %8s\n", "train_step_clustered", threads,
+                  stats.median_ns, "(8 clusters)");
+    }
   }
   ThreadPool::set_global_threads(0);
 }
@@ -559,6 +673,7 @@ int main(int argc, char** argv) {
   std::vector<rihgcn::bench::MicroResult> results;
   run_sparse_sweep(opts, results);
   run_simd_sweep(opts, results);
+  run_dtw_graph_sweep(opts, results);
   run_train_step_compare(opts, results);
   if (!opts.json_path.empty()) {
     rihgcn::bench::write_micro_json(opts.json_path, results);

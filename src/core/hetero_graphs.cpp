@@ -28,17 +28,43 @@ HeterogeneousGraphs::HeterogeneousGraphs(const data::TrafficDataset& ds,
                                          std::size_t train_end,
                                          const HeteroGraphsConfig& config,
                                          Rng& rng)
-    : geo_(graph::RoadGraph::from_distances(ds.geo_distances,
-                                            config.adjacency)),
+    : geo_(graph::RoadGraph::from_distances(
+          // Sparse mode never touches the dense pipeline; geo_ stays an
+          // empty placeholder so no N x N matrix is built behind our back.
+          config.knn > 0 ? Matrix() : ds.geo_distances, config.adjacency)),
       partition_slots_(config.partition_slots),
       steps_per_day_(ds.steps_per_day),
-      weight_temperature_(config.weight_temperature) {
+      weight_temperature_(config.weight_temperature),
+      sparse_mode_(config.knn > 0) {
   if (train_end == 0 || train_end > ds.num_timesteps()) {
     throw std::invalid_argument("HeterogeneousGraphs: bad train_end");
   }
   if (config.partition_slots == 0 ||
       config.partition_slots > ds.steps_per_day) {
     throw std::invalid_argument("HeterogeneousGraphs: bad partition_slots");
+  }
+
+  if (sparse_mode_) {
+    if (config.distance != ts::SeriesDistance::kDtw) {
+      throw std::invalid_argument(
+          "HeterogeneousGraphs: sparse mode supports DTW only");
+    }
+    num_nodes_sparse_ = ds.num_nodes();
+    const std::size_t n = num_nodes_sparse_;
+    ts::NeighborList nl;
+    if (n > 0 && ds.geo_distances.rows() == n) {
+      nl = graph::knn_from_distances(ds.geo_distances, config.knn);
+    } else if (n > 0 && ds.coords.rows() == n) {
+      // City-scale datasets ship coordinates but no N x N road-distance
+      // matrix; Euclidean k-NN over coords is the spatial fallback.
+      nl = graph::knn_from_coords(ds.coords, config.knn);
+    } else {
+      throw std::invalid_argument(
+          "HeterogeneousGraphs: sparse mode needs geo_distances or coords");
+    }
+    geo_adj_csr_ = graph::gaussian_knn_adjacency(nl, config.adjacency);
+    geo_slap_csr_ = graph::scaled_laplacian_csr(
+        graph::normalized_laplacian_csr(geo_adj_csr_));
   }
 
   if (config.num_temporal_graphs == 0) {
@@ -77,7 +103,7 @@ HeterogeneousGraphs::HeterogeneousGraphs(const data::TrafficDataset& ds,
                    : partitioner.partition(config.num_temporal_graphs, rng);
 
   // ---- One temporal graph per interval ----------------------------------
-  temporal_.reserve(partition_.num_intervals());
+  if (!sparse_mode_) temporal_.reserve(partition_.num_intervals());
   const std::size_t fine_per_coarse =
       ds.steps_per_day / config.partition_slots;
   for (std::size_t m = 0; m < partition_.num_intervals(); ++m) {
@@ -87,11 +113,73 @@ HeterogeneousGraphs::HeterogeneousGraphs(const data::TrafficDataset& ds,
     const std::size_t f0 = c0 * fine_per_coarse;
     const std::size_t f1 = c1 * fine_per_coarse;
     const Matrix series = profile.interval_series(f0, f1);
-    const Matrix dist =
-        ts::pairwise_series_distance(series, config.distance);
-    temporal_.push_back(
-        graph::RoadGraph::from_distances(dist, config.adjacency));
+    if (sparse_mode_) {
+      // Pruned top-k DTW scan instead of the O(N²) pairwise matrix.
+      ts::KnnOptions opts;
+      opts.k = config.knn;
+      opts.band = config.dtw_band;
+      opts.prune = config.prune_dtw;
+      ts::KnnStats st;
+      const ts::NeighborList nl = ts::knn_series_graph(series, opts, &st);
+      temporal_knn_stats_.pairs += st.pairs;
+      temporal_knn_stats_.lb_kim_pruned += st.lb_kim_pruned;
+      temporal_knn_stats_.lb_keogh_pruned += st.lb_keogh_pruned;
+      temporal_knn_stats_.dtw_started += st.dtw_started;
+      temporal_knn_stats_.dtw_abandoned += st.dtw_abandoned;
+      const CsrMatrix adj =
+          graph::gaussian_knn_adjacency(nl, config.adjacency);
+      temporal_slap_csr_.push_back(graph::scaled_laplacian_csr(
+          graph::normalized_laplacian_csr(adj)));
+    } else {
+      const Matrix dist =
+          ts::pairwise_series_distance(series, config.distance);
+      temporal_.push_back(
+          graph::RoadGraph::from_distances(dist, config.adjacency));
+    }
   }
+}
+
+const graph::RoadGraph& HeterogeneousGraphs::geographic() const {
+  if (sparse_mode_) {
+    throw std::logic_error(
+        "HeterogeneousGraphs::geographic: dense accessor in sparse mode; use "
+        "geographic_adjacency_csr / geographic_scaled_laplacian_csr");
+  }
+  return geo_;
+}
+
+const graph::RoadGraph& HeterogeneousGraphs::temporal(std::size_t m) const {
+  if (sparse_mode_) {
+    throw std::logic_error(
+        "HeterogeneousGraphs::temporal: dense accessor in sparse mode; use "
+        "temporal_scaled_laplacian_csr");
+  }
+  return temporal_.at(m);
+}
+
+const CsrMatrix& HeterogeneousGraphs::geographic_adjacency_csr() const {
+  if (!sparse_mode_) {
+    throw std::logic_error(
+        "HeterogeneousGraphs::geographic_adjacency_csr: dense mode");
+  }
+  return geo_adj_csr_;
+}
+
+const CsrMatrix& HeterogeneousGraphs::geographic_scaled_laplacian_csr() const {
+  if (!sparse_mode_) {
+    throw std::logic_error(
+        "HeterogeneousGraphs::geographic_scaled_laplacian_csr: dense mode");
+  }
+  return geo_slap_csr_;
+}
+
+const CsrMatrix& HeterogeneousGraphs::temporal_scaled_laplacian_csr(
+    std::size_t m) const {
+  if (!sparse_mode_) {
+    throw std::logic_error(
+        "HeterogeneousGraphs::temporal_scaled_laplacian_csr: dense mode");
+  }
+  return temporal_slap_csr_.at(m);
 }
 
 std::vector<double> HeterogeneousGraphs::interval_weights(

@@ -48,6 +48,21 @@ struct HeteroGraphsConfig {
   /// Use the circular timeline partition (the paper's future-work idea: the
   /// first interval need not start at midnight). Slightly slower to build.
   bool circular_partition = false;
+
+  // ---- City-scale k-NN sparse mode (DESIGN.md §13) ------------------------
+  /// knn > 0 switches every graph to the k-NN CSR pipeline: no N x N matrix
+  /// is ever materialized. The spatial graph comes from ds.geo_distances if
+  /// present, else from Euclidean k-NN over ds.coords; temporal graphs come
+  /// from ts::knn_series_graph over the interval profiles. The dense
+  /// accessors (geographic()/temporal()) throw in this mode — consume
+  /// *_csr() instead. knn = 0 (default) is the unchanged dense pipeline.
+  std::size_t knn = 0;
+  /// Sparse mode only: LB_Kim/LB_Keogh pruning + early-abandon for the
+  /// temporal DTW scans. Results are bitwise identical on or off.
+  bool prune_dtw = true;
+  /// Sparse mode only: Sakoe-Chiba band for the temporal DTW scans
+  /// (negative = unconstrained).
+  std::ptrdiff_t dtw_band = -1;
 };
 
 class HeterogeneousGraphs {
@@ -57,16 +72,28 @@ class HeterogeneousGraphs {
                       const HeteroGraphsConfig& config, Rng& rng);
 
   [[nodiscard]] std::size_t num_nodes() const noexcept {
-    return geo_.num_nodes();
+    return sparse_mode_ ? num_nodes_sparse_ : geo_.num_nodes();
   }
   [[nodiscard]] std::size_t num_temporal() const noexcept {
-    return temporal_.size();
+    return sparse_mode_ ? temporal_slap_csr_.size() : temporal_.size();
   }
-  [[nodiscard]] const graph::RoadGraph& geographic() const noexcept {
-    return geo_;
-  }
-  [[nodiscard]] const graph::RoadGraph& temporal(std::size_t m) const {
-    return temporal_.at(m);
+  /// Dense accessors — throw std::logic_error in sparse mode (there is no
+  /// dense graph to return; that is the point of the mode).
+  [[nodiscard]] const graph::RoadGraph& geographic() const;
+  [[nodiscard]] const graph::RoadGraph& temporal(std::size_t m) const;
+
+  /// True when built with config.knn > 0 (CSR-only graphs).
+  [[nodiscard]] bool sparse_mode() const noexcept { return sparse_mode_; }
+  /// Sparse mode only: k-NN Gaussian adjacency / Chebyshev-rescaled
+  /// Laplacians in CSR form. Throw std::logic_error in dense mode.
+  [[nodiscard]] const CsrMatrix& geographic_adjacency_csr() const;
+  [[nodiscard]] const CsrMatrix& geographic_scaled_laplacian_csr() const;
+  [[nodiscard]] const CsrMatrix& temporal_scaled_laplacian_csr(
+      std::size_t m) const;
+  /// Sparse mode: DTW work counters summed over every temporal graph build
+  /// (zeros in dense mode) — lets tests and benches assert pruning efficacy.
+  [[nodiscard]] const ts::KnnStats& temporal_knn_stats() const noexcept {
+    return temporal_knn_stats_;
   }
   [[nodiscard]] const ts::Partition& partition() const noexcept {
     return partition_;
@@ -88,6 +115,13 @@ class HeterogeneousGraphs {
   std::size_t partition_slots_ = 24;
   std::size_t steps_per_day_ = 288;
   double weight_temperature_ = 2.0;
+  // Sparse k-NN mode state (empty in dense mode).
+  bool sparse_mode_ = false;
+  std::size_t num_nodes_sparse_ = 0;
+  CsrMatrix geo_adj_csr_;
+  CsrMatrix geo_slap_csr_;
+  std::vector<CsrMatrix> temporal_slap_csr_;
+  ts::KnnStats temporal_knn_stats_;
 };
 
 }  // namespace rihgcn::core

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,31 @@ class ForecastModel {
     (void)w;
     return {};
   }
+};
+
+/// Optional capability for partitioned (Cluster-GCN-style) training
+/// (DESIGN.md §13): the model cuts its graph into C node clusters and
+/// exposes a per-(window, cluster) training loss over each cluster's
+/// sub-graph. Halo (1-hop boundary) nodes propagate features into the
+/// cluster but carry zero loss weight, so every gradient belongs to exactly
+/// one cluster. The trainer detects this interface with dynamic_cast when
+/// TrainConfig::num_clusters > 1.
+class ClusterTrainable {
+ public:
+  virtual ~ClusterTrainable() = default;
+
+  /// Build the cluster decomposition: `num_clusters` clusters grown by a
+  /// deterministic seeded partition. Called once before training; calling
+  /// again replaces the decomposition. num_clusters <= 1 clears it.
+  virtual void prepare_clusters(std::size_t num_clusters,
+                                std::uint64_t seed) = 0;
+  /// Clusters currently prepared (0 = full-graph mode).
+  [[nodiscard]] virtual std::size_t num_clusters() const = 0;
+  /// Training loss of one (window, cluster) mini-batch item: the model's
+  /// full loss restricted to the cluster's owned nodes.
+  [[nodiscard]] virtual ad::Var cluster_training_loss(ad::Tape& tape,
+                                                      const data::Window& w,
+                                                      std::size_t cluster) = 0;
 };
 
 /// Prediction metrics over a set of windows. If `normalizer` is non-null

@@ -1,7 +1,11 @@
 #include "core/rihgcn.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "graph/cluster.hpp"
 
 namespace rihgcn::core {
 
@@ -35,6 +39,17 @@ HgcnBlock::LapVars HgcnBlock::make_lap_vars(Tape& tape) const {
 
 HgcnBlock::SparseLaps HgcnBlock::make_sparse_laps(double tol,
                                                   double max_density) const {
+  if (graphs_.sparse_mode()) {
+    // Sparse-mode graphs only exist as CSR; the density fallback has no
+    // dense Laplacian to fall back to, so every graph is covered.
+    SparseLaps sparse;
+    sparse.geo = graphs_.geographic_scaled_laplacian_csr();
+    sparse.temporal.reserve(graphs_.num_temporal());
+    for (std::size_t m = 0; m < graphs_.num_temporal(); ++m) {
+      sparse.temporal.emplace_back(graphs_.temporal_scaled_laplacian_csr(m));
+    }
+    return sparse;
+  }
   auto build = [tol, max_density](const Matrix& lap) -> std::optional<CsrMatrix> {
     CsrMatrix csr = CsrMatrix::from_dense(lap, tol);
     if (csr.density() > max_density) return std::nullopt;  // dense fallback
@@ -149,6 +164,10 @@ RihgcnModel::RihgcnModel(const HeterogeneousGraphs& graphs,
   if (config.hgcn_layers == 0 || config.hgcn_layers > 2) {
     throw std::invalid_argument("RihgcnModel: hgcn_layers must be 1 or 2");
   }
+  if (graphs.sparse_mode() && !config_.use_sparse_graphs) {
+    throw std::invalid_argument(
+        "RihgcnModel: sparse-mode graphs (knn > 0) require use_sparse_graphs");
+  }
   if (config_.use_sparse_graphs) {
     sparse_laps_ =
         hgcn_.make_sparse_laps(/*tol=*/0.0, config_.sparse_density_limit);
@@ -233,12 +252,23 @@ RihgcnModel::DirectionResult RihgcnModel::run_direction(
 
 RihgcnModel::ForwardOutput RihgcnModel::forward(Tape& tape,
                                                 const data::Window& w) {
+  return forward_impl(tape, w, nullptr, nullptr);
+}
+
+RihgcnModel::ForwardOutput RihgcnModel::forward_impl(
+    Tape& tape, const data::Window& w,
+    const HgcnBlock::SparseLaps* sparse_override,
+    const std::vector<char>* owned_row) {
   const std::size_t steps = config_.lookback;
   // One set of Laplacian constants per tape, shared by both directions and
   // both stacked HGCN blocks (same underlying graphs). With the sparse cache
-  // active, CSR-covered graphs skip the tape constant entirely.
+  // active, CSR-covered graphs skip the tape constant entirely. A cluster
+  // override swaps in that cluster's sub-Laplacians (all CSR, so no tape
+  // constants at all).
   const HgcnBlock::SparseLaps* sparse =
-      config_.use_sparse_graphs ? &sparse_laps_ : nullptr;
+      sparse_override != nullptr
+          ? sparse_override
+          : (config_.use_sparse_graphs ? &sparse_laps_ : nullptr);
   const HgcnBlock::LapVars laps = sparse ? hgcn_.make_lap_vars(tape, *sparse)
                                          : hgcn_.make_lap_vars(tape);
   DirectionResult fwd = run_direction(tape, w, /*reverse=*/false, laps, sparse);
@@ -272,11 +302,29 @@ RihgcnModel::ForwardOutput RihgcnModel::forward(Tape& tape,
       have_avg = true;
     }
     if (have_avg) {
+      // Halo rows of a cluster sub-window contribute features upstream but
+      // never loss; zeroing their weight rows keeps masked_mae (which
+      // normalizes by the weight sum) restricted to owned nodes.
+      const auto zero_halo_rows = [owned_row](Matrix m) {
+        const std::size_t cols = m.cols();
+        for (std::size_t i = 0; i < m.rows(); ++i) {
+          if (!(*owned_row)[i]) {
+            std::fill(m.data() + i * cols, m.data() + (i + 1) * cols, 0.0);
+          }
+        }
+        return m;
+      };
       // First term: error of the estimate against observed entries.
-      accumulate(tape.masked_mae(est_avg, w.x_obs[t], w.x_mask[t]));
+      if (owned_row == nullptr) {
+        accumulate(tape.masked_mae(est_avg, w.x_obs[t], w.x_mask[t]));
+      } else {
+        accumulate(tape.masked_mae(est_avg, w.x_obs[t],
+                                   zero_halo_rows(w.x_mask[t])));
+      }
       if (hf && hb && config_.use_consistency) {
         Matrix inv_mask =
             map(w.x_mask[t], [](double v) { return 1.0 - v; });
+        if (owned_row != nullptr) inv_mask = zero_halo_rows(std::move(inv_mask));
         accumulate(tape.weighted_l1_between(fwd.estimates[t],
                                             bwd.estimates[t], inv_mask));
       }
@@ -330,6 +378,101 @@ Var RihgcnModel::training_loss(Tape& tape, const data::Window& w) {
   for (std::size_t t = 0; t < config_.horizon; ++t) {
     targets.set_cols(t, w.y.at(t));
     weights.set_cols(t, w.y_mask.at(t));
+  }
+  Var pred_loss = tape.masked_mae(out.prediction, targets, weights);
+  if (!out.has_imputation_loss || config_.lambda == 0.0) return pred_loss;
+  return tape.affine_combine(pred_loss, 1.0, out.imputation_loss,
+                             config_.lambda);
+}
+
+void RihgcnModel::prepare_clusters(std::size_t num_clusters,
+                                   std::uint64_t seed) {
+  clusters_.clear();
+  if (num_clusters <= 1) return;
+  // The SPATIAL adjacency drives the partition; the temporal graphs share
+  // the node set, and their edges leaving owned ∪ halo are cut — the
+  // Cluster-GCN approximation (DESIGN.md §13). The halo is the spatial
+  // 1-hop boundary; Chebyshev order K > 1 reaches further, so halo features
+  // are themselves approximate at the sub-graph border.
+  const CsrMatrix adjacency =
+      graphs_.sparse_mode()
+          ? graphs_.geographic_adjacency_csr()
+          : CsrMatrix::from_dense(graphs_.geographic().adjacency());
+  const graph::ClusterPartitioner partitioner(seed);
+  const graph::Clustering clustering =
+      partitioner.partition(adjacency, num_clusters);
+
+  // Full scaled Laplacians in CSR form, to extract sub-matrices from.
+  const std::size_t num_t = graphs_.num_temporal();
+  CsrMatrix geo_full;
+  std::vector<CsrMatrix> temporal_full;
+  temporal_full.reserve(num_t);
+  if (graphs_.sparse_mode()) {
+    geo_full = graphs_.geographic_scaled_laplacian_csr();
+    for (std::size_t m = 0; m < num_t; ++m) {
+      temporal_full.push_back(graphs_.temporal_scaled_laplacian_csr(m));
+    }
+  } else {
+    geo_full = sparse_laps_.geo ? *sparse_laps_.geo
+                                : CsrMatrix::from_dense(
+                                      graphs_.geographic().scaled_laplacian());
+    for (std::size_t m = 0; m < num_t; ++m) {
+      const bool cached =
+          m < sparse_laps_.temporal.size() && sparse_laps_.temporal[m];
+      temporal_full.push_back(
+          cached ? *sparse_laps_.temporal[m]
+                 : CsrMatrix::from_dense(graphs_.temporal(m).scaled_laplacian()));
+    }
+  }
+
+  clusters_.reserve(clustering.num_clusters());
+  for (std::size_t c = 0; c < clustering.num_clusters(); ++c) {
+    const std::vector<std::size_t>& owned = clustering.owned[c];
+    const std::vector<std::size_t>& halo = clustering.halo[c];
+    ClusterSpec spec;
+    spec.nodes.resize(owned.size() + halo.size());
+    std::merge(owned.begin(), owned.end(), halo.begin(), halo.end(),
+               spec.nodes.begin());
+    spec.num_owned = owned.size();
+    spec.owned_row.assign(spec.nodes.size(), 0);
+    std::size_t p = 0;
+    for (std::size_t r = 0; r < spec.nodes.size(); ++r) {
+      if (p < owned.size() && owned[p] == spec.nodes[r]) {
+        spec.owned_row[r] = 1;
+        ++p;
+      }
+    }
+    spec.laps.geo = geo_full.submatrix(spec.nodes);
+    spec.laps.temporal.reserve(num_t);
+    for (std::size_t m = 0; m < num_t; ++m) {
+      spec.laps.temporal.emplace_back(temporal_full[m].submatrix(spec.nodes));
+    }
+    clusters_.push_back(std::move(spec));
+  }
+}
+
+Var RihgcnModel::cluster_training_loss(Tape& tape, const data::Window& w,
+                                       std::size_t cluster) {
+  if (cluster >= clusters_.size()) {
+    throw std::out_of_range(
+        "RihgcnModel::cluster_training_loss: cluster out of range "
+        "(prepare_clusters first)");
+  }
+  const ClusterSpec& spec = clusters_[cluster];
+  const data::Window sub = data::take_rows(w, spec.nodes);
+  ForwardOutput out = forward_impl(tape, sub, &spec.laps, &spec.owned_row);
+  const std::size_t n = spec.nodes.size();
+  Matrix targets(n, config_.horizon);
+  Matrix weights(n, config_.horizon);
+  for (std::size_t t = 0; t < config_.horizon; ++t) {
+    targets.set_cols(t, sub.y.at(t));
+    weights.set_cols(t, sub.y_mask.at(t));
+  }
+  // Halo rows contribute features, never loss.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!spec.owned_row[i]) {
+      for (std::size_t t = 0; t < config_.horizon; ++t) weights(i, t) = 0.0;
+    }
   }
   Var pred_loss = tape.masked_mae(out.prediction, targets, weights);
   if (!out.has_imputation_loss || config_.lambda == 0.0) return pred_loss;

@@ -53,7 +53,9 @@ class HgcnBlock : public nn::Module {
   /// scaled Laplacian, built once and reused by every forward pass. A graph
   /// whose density exceeds `max_density` stays dense (nullopt) — SpMM loses
   /// to the blocked dense kernel there — so a cache can mix sparse and dense
-  /// graphs freely.
+  /// graphs freely. With sparse-mode graphs (HeteroGraphsConfig::knn > 0)
+  /// the CSR Laplacians are copied straight from the graphs and the density
+  /// limit is ignored: CSR is the only form that exists.
   struct SparseLaps {
     std::optional<CsrMatrix> geo;
     std::vector<std::optional<CsrMatrix>> temporal;  ///< one per temporal graph
@@ -128,7 +130,7 @@ struct RihgcnConfig {
   std::string display_name = "RIHGCN";
 };
 
-class RihgcnModel : public ForecastModel {
+class RihgcnModel : public ForecastModel, public ClusterTrainable {
  public:
   RihgcnModel(const HeterogeneousGraphs& graphs, std::size_t num_nodes,
               std::size_t num_features, const RihgcnConfig& config);
@@ -141,6 +143,22 @@ class RihgcnModel : public ForecastModel {
                                       const data::Window& w) override;
   [[nodiscard]] Matrix predict(const data::Window& w) override;
   [[nodiscard]] std::vector<Matrix> impute(const data::Window& w) override;
+
+  // ---- ClusterTrainable (partitioned training, DESIGN.md §13) -------------
+  /// Partition the spatial graph into `num_clusters` clusters (seeded BFS)
+  /// and precompute each cluster's sub-Laplacians (owned ∪ 1-hop halo rows
+  /// and columns of every scaled Laplacian, extracted in CSR form).
+  void prepare_clusters(std::size_t num_clusters, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t num_clusters() const override {
+    return clusters_.size();
+  }
+  /// Full RIHGCN loss on the cluster's sub-window: halo rows propagate
+  /// through the HGCN/LSTM but are zero-weighted in the prediction AND
+  /// imputation losses, so summing per-cluster gradients over all clusters
+  /// covers every owned node exactly once.
+  [[nodiscard]] ad::Var cluster_training_loss(ad::Tape& tape,
+                                              const data::Window& w,
+                                              std::size_t cluster) override;
 
   [[nodiscard]] const RihgcnConfig& config() const noexcept { return config_; }
 
@@ -166,6 +184,24 @@ class RihgcnModel : public ForecastModel {
       ad::Tape& tape, const data::Window& w, bool reverse,
       const HgcnBlock::LapVars& laps, const HgcnBlock::SparseLaps* sparse);
 
+  /// One cluster's precomputed sub-graph (prepare_clusters).
+  struct ClusterSpec {
+    std::vector<std::size_t> nodes;  ///< owned ∪ halo, ascending
+    std::vector<char> owned_row;     ///< per local row: 1 = owned, 0 = halo
+    std::size_t num_owned = 0;
+    HgcnBlock::SparseLaps laps;      ///< sub-Laplacians, every graph in CSR
+  };
+
+  /// Shared forward body. `sparse_override` non-null swaps in a cluster's
+  /// sub-Laplacians; `owned_row` non-null zero-weights halo rows in the
+  /// imputation/consistency losses. With both null this IS forward():
+  /// the full-graph op sequence is bitwise unchanged.
+  [[nodiscard]] ForwardOutput forward_impl(ad::Tape& tape,
+                                           const data::Window& w,
+                                           const HgcnBlock::SparseLaps*
+                                               sparse_override,
+                                           const std::vector<char>* owned_row);
+
   const HeterogeneousGraphs& graphs_;
   RihgcnConfig config_;
   std::size_t num_features_;
@@ -185,6 +221,8 @@ class RihgcnModel : public ForecastModel {
   /// node vector and the buffer pool warm, so steady-state inference does
   /// no heap allocation (DESIGN.md §10).
   ad::Tape scratch_tape_;
+  /// Partitioned-training state (empty until prepare_clusters).
+  std::vector<ClusterSpec> clusters_;
 };
 
 }  // namespace rihgcn::core

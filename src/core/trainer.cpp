@@ -33,7 +33,7 @@ std::vector<std::size_t> subsample(const std::vector<std::size_t>& all,
 /// no thread spawn/join per batch). Chunk w of the grain-1 parallel_for IS
 /// worker w: it owns a private gradient sink, a private arena tape from
 /// `tapes` (reused via reset() across windows and batches), and the strided
-/// window slice {pos+w, pos+w+workers, ...}. Because chunk bodies run under
+/// item slice {w, w+workers, ...}. Because chunk bodies run under
 /// the pool's reentrancy guard, every tensor kernel inside executes inline —
 /// all parallelism is at batch granularity, none is wasted on intra-kernel
 /// splits that BENCH_micro.json showed going flat. Sinks reduce into the
@@ -42,26 +42,36 @@ std::vector<std::size_t> subsample(const std::vector<std::size_t>& all,
 /// bitwise identical to any schedule with the same `workers` count (the
 /// checkpoint determinism contract keys on num_threads for the slice
 /// assignment alone). Returns the summed batch loss.
-double parallel_batch_gradients(ForecastModel& model,
+///
+/// Partitioned mode (`ct` non-null, DESIGN.md §13): each batch window
+/// expands into `cmult` work items, one per cluster, enumerated as
+/// p = (b - pos) * cmult + c so consecutive items interleave clusters of the
+/// same window across workers. With ct == nullptr / cmult == 1 the item
+/// enumeration degenerates to exactly the original per-window slices.
+double parallel_batch_gradients(ForecastModel& model, ClusterTrainable* ct,
+                                std::size_t cmult,
                                 const data::WindowSampler& sampler,
                                 const std::vector<std::size_t>& train_idx,
                                 const std::vector<std::size_t>& order,
                                 std::size_t pos, std::size_t batch_end,
                                 std::size_t workers, ThreadPool& pool,
                                 std::vector<std::unique_ptr<ad::Tape>>& tapes) {
-  const std::size_t count = batch_end - pos;
-  workers = std::min(workers, count);
+  const std::size_t items = (batch_end - pos) * cmult;
+  workers = std::min(workers, items);
   while (tapes.size() < workers) {
     tapes.push_back(std::make_unique<ad::Tape>());
   }
   std::vector<ad::Tape::GradSink> sinks(workers);
   std::vector<double> losses(workers, 0.0);
   pool.parallel_for(0, workers, 1, [&](std::size_t w, std::size_t) {
-    for (std::size_t b = pos + w; b < batch_end; b += workers) {
+    for (std::size_t p = w; p < items; p += workers) {
+      const std::size_t b = pos + p / cmult;
       const data::Window window = sampler.make_window(train_idx[order[b]]);
       ad::Tape& tape = *tapes[w];
       tape.reset();
-      ad::Var loss = model.training_loss(tape, window);
+      ad::Var loss = ct == nullptr
+                         ? model.training_loss(tape, window)
+                         : ct->cluster_training_loss(tape, window, p % cmult);
       losses[w] += tape.value(loss)(0, 0);
       tape.backward_into(loss, sinks[w]);
     }
@@ -93,6 +103,23 @@ TrainReport train_model(ForecastModel& model,
   if (config.resume && config.checkpoint_path.empty()) {
     throw std::invalid_argument(
         "train_model: resume requires a checkpoint_path");
+  }
+  // Partitioned mode (DESIGN.md §13): resolve the capability up front so a
+  // misconfigured model fails fast, before any epoch runs.
+  ClusterTrainable* ct = nullptr;
+  std::size_t cmult = 1;
+  if (config.num_clusters > 1) {
+    ct = dynamic_cast<ClusterTrainable*>(&model);
+    if (ct == nullptr) {
+      throw std::invalid_argument(
+          "train_model: num_clusters > 1 requires a ClusterTrainable model");
+    }
+    ct->prepare_clusters(config.num_clusters, config.seed);
+    cmult = ct->num_clusters();
+    if (cmult <= 1) {  // model declined to partition (e.g. tiny graph)
+      ct = nullptr;
+      cmult = 1;
+    }
   }
   Rng rng(config.seed);
   const std::vector<std::size_t> train_idx =
@@ -190,18 +217,23 @@ TrainReport train_model(ForecastModel& model,
       if (config.num_threads <= 1) {
         for (std::size_t b = pos; b < batch_end; ++b) {
           const data::Window w = sampler.make_window(train_idx[order[b]]);
-          serial_tape.reset();
-          ad::Var loss = model.training_loss(serial_tape, w);
-          batch_loss += serial_tape.value(loss)(0, 0);
-          serial_tape.backward(loss);
+          for (std::size_t c = 0; c < cmult; ++c) {
+            serial_tape.reset();
+            ad::Var loss = ct == nullptr
+                               ? model.training_loss(serial_tape, w)
+                               : ct->cluster_training_loss(serial_tape, w, c);
+            batch_loss += serial_tape.value(loss)(0, 0);
+            serial_tape.backward(loss);
+          }
         }
       } else {
         batch_loss = parallel_batch_gradients(
-            model, sampler, train_idx, order, pos, batch_end,
+            model, ct, cmult, sampler, train_idx, order, pos, batch_end,
             config.num_threads, batch_pool, worker_tapes);
       }
-      // Average the accumulated gradient over the batch.
-      const double inv = 1.0 / static_cast<double>(batch_end - pos);
+      // Average the accumulated gradient over the batch's work items (one
+      // per window, or per (window, cluster) pair in partitioned mode).
+      const double inv = 1.0 / static_cast<double>((batch_end - pos) * cmult);
       for (ad::Parameter* p : params) p->grad() *= inv;
       if (guard.inspect(batch_loss * inv) ==
           NumericalGuard::Verdict::kSkipBatch) {

@@ -58,6 +58,16 @@ struct TrainConfig {
   /// and, on a clean run, ends with parameters bitwise identical to an
   /// uninterrupted run.
   bool resume = false;
+  /// Partitioned (Cluster-GCN-style) training, DESIGN.md §13: when > 1 the
+  /// model must implement ClusterTrainable (validated with dynamic_cast,
+  /// std::invalid_argument otherwise). prepare_clusters(num_clusters, seed)
+  /// runs once before the epoch loop, and each batch window expands into one
+  /// work item per (window, cluster) pair; the gradient is averaged over
+  /// items, so a full sweep of clusters covers every owned node exactly
+  /// once. 0 or 1 = standard full-graph training (bitwise unchanged). The
+  /// value is part of the determinism contract but is NOT serialized into
+  /// checkpoints — resuming with a different num_clusters is undefined.
+  std::size_t num_clusters = 0;
 };
 
 struct TrainReport {

@@ -1,8 +1,49 @@
 #include "data/windows.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace rihgcn::data {
+
+namespace {
+
+Matrix take_matrix_rows(const Matrix& m, const std::vector<std::size_t>& nodes) {
+  const std::size_t cols = m.cols();
+  Matrix out(nodes.size(), cols);
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    std::memcpy(out.data() + r * cols, m.data() + nodes[r] * cols,
+                cols * sizeof(double));
+  }
+  return out;
+}
+
+}  // namespace
+
+Window take_rows(const Window& w, const std::vector<std::size_t>& nodes) {
+  const std::size_t n =
+      w.x_obs.empty() ? 0 : w.x_obs.front().rows();
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    if (nodes[r] >= n || (r > 0 && nodes[r] <= nodes[r - 1])) {
+      throw std::invalid_argument(
+          "take_rows: nodes must be strictly ascending and within range");
+    }
+  }
+  Window out;
+  out.start = w.start;
+  out.slot = w.slot;
+  auto take_all = [&nodes](const std::vector<Matrix>& src) {
+    std::vector<Matrix> dst;
+    dst.reserve(src.size());
+    for (const Matrix& m : src) dst.push_back(take_matrix_rows(m, nodes));
+    return dst;
+  };
+  out.x_obs = take_all(w.x_obs);
+  out.x_mask = take_all(w.x_mask);
+  out.x_truth = take_all(w.x_truth);
+  out.y = take_all(w.y);
+  out.y_mask = take_all(w.y_mask);
+  return out;
+}
 
 WindowSampler::WindowSampler(const TrafficDataset& ds, std::size_t lookback,
                              std::size_t horizon, std::size_t target_feature)

@@ -30,6 +30,14 @@ struct Window {
   std::vector<Matrix> y_mask;
 };
 
+/// Row-restricted copy of a window: every matrix keeps only the rows in
+/// `nodes` (strictly ascending node indices), in order. Empty members (e.g.
+/// x_truth on synthetic-free paths) stay empty. This is how the partitioned
+/// trainer feeds a cluster's owned ∪ halo nodes through the standard model
+/// forward pass (DESIGN.md §13).
+[[nodiscard]] Window take_rows(const Window& w,
+                               const std::vector<std::size_t>& nodes);
+
 struct SplitIndices {
   std::vector<std::size_t> train;
   std::vector<std::size_t> val;

@@ -1,0 +1,114 @@
+#include "graph/cluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace rihgcn::graph {
+
+Clustering ClusterPartitioner::partition(const CsrMatrix& adjacency,
+                                         std::size_t num_clusters) const {
+  const std::size_t n = adjacency.rows();
+  if (adjacency.cols() != n) {
+    throw ShapeError("ClusterPartitioner: adjacency must be square");
+  }
+  if (num_clusters == 0) {
+    throw std::invalid_argument("ClusterPartitioner: num_clusters must be > 0");
+  }
+  const std::size_t c_count = std::min(num_clusters, std::max<std::size_t>(n, 1));
+  Clustering out;
+  out.num_nodes = n;
+  out.owned.resize(c_count);
+  out.halo.resize(c_count);
+  out.cluster_of.assign(n, 0);
+  if (n == 0) return out;
+
+  const auto& ptr = adjacency.row_ptr();
+  const auto& col = adjacency.col_idx();
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> owner(n, kUnassigned);
+  // Per-node cursor into its CSR row: each edge is inspected at most once
+  // across the whole growth, keeping the BFS O(N + nnz).
+  std::vector<std::size_t> cursor(ptr.begin(), ptr.end() - 1);
+  std::vector<std::deque<std::size_t>> frontier(c_count);
+  std::vector<std::size_t> sizes(c_count, 0);
+  // Balanced size cap: c_count * cap >= n, so growth can always finish.
+  const std::size_t cap = (n + c_count - 1) / c_count;
+
+  // Seeds: the first C entries of a seeded permutation — spread uniformly,
+  // reproducible from the seed alone.
+  Rng rng(seed_);
+  const std::vector<std::size_t> perm = rng.permutation(n);
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < c_count; ++c) {
+    const std::size_t s = perm[c];
+    owner[s] = c;
+    frontier[c].push_back(s);
+    sizes[c] = 1;
+    ++assigned;
+  }
+
+  // Round-robin growth, one node claimed per turn: cluster c scans its FIFO
+  // frontier's head for the first unassigned neighbour in ascending column
+  // order; an exhausted head is popped. An empty frontier under the cap
+  // teleports to the smallest-index unassigned node (disconnected graphs).
+  std::size_t next_free = 0;  // smallest possibly-unassigned index
+  while (assigned < n) {
+    bool progressed = false;
+    for (std::size_t c = 0; c < c_count && assigned < n; ++c) {
+      if (sizes[c] >= cap) continue;
+      std::size_t claimed = kUnassigned;
+      while (!frontier[c].empty() && claimed == kUnassigned) {
+        const std::size_t u = frontier[c].front();
+        while (cursor[u] < ptr[u + 1]) {
+          const std::size_t v = col[cursor[u]++];
+          if (owner[v] == kUnassigned) {
+            claimed = v;
+            break;
+          }
+        }
+        if (claimed == kUnassigned) frontier[c].pop_front();
+      }
+      if (claimed == kUnassigned) {
+        while (next_free < n && owner[next_free] != kUnassigned) ++next_free;
+        claimed = next_free;
+      }
+      owner[claimed] = c;
+      frontier[c].push_back(claimed);
+      ++sizes[c];
+      ++assigned;
+      progressed = true;
+    }
+    if (!progressed) {
+      // Unreachable (cap * c_count >= n), kept as a loud invariant check.
+      throw std::logic_error("ClusterPartitioner: growth stalled");
+    }
+  }
+
+  out.cluster_of.assign(owner.begin(), owner.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.owned[owner[i]].push_back(i);  // ascending by construction
+  }
+  // Halos: out-of-cluster structural neighbours of owned nodes.
+  std::vector<char> in_halo(n, 0);
+  for (std::size_t c = 0; c < c_count; ++c) {
+    std::vector<std::size_t>& h = out.halo[c];
+    for (const std::size_t u : out.owned[c]) {
+      for (std::size_t e = ptr[u]; e < ptr[u + 1]; ++e) {
+        const std::size_t v = col[e];
+        if (owner[v] != c && !in_halo[v]) {
+          in_halo[v] = 1;
+          h.push_back(v);
+        }
+      }
+    }
+    std::sort(h.begin(), h.end());
+    for (const std::size_t v : h) in_halo[v] = 0;  // reset for next cluster
+  }
+  return out;
+}
+
+}  // namespace rihgcn::graph

@@ -1,0 +1,56 @@
+// Deterministic graph clustering for partitioned sub-graph training
+// (DESIGN.md §13). A Cluster-GCN-style trainer cuts the sensor graph into C
+// node clusters and trains on per-cluster sub-Laplacians; this header
+// provides the partition itself: seeded round-robin BFS over the spatial
+// adjacency, plus the 1-hop halo sets the sub-graph forward pass needs so
+// boundary nodes still see their out-of-cluster neighbours.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/csr.hpp"
+
+namespace rihgcn::graph {
+
+using rihgcn::CsrMatrix;
+
+/// A complete disjoint partition of the nodes plus per-cluster halos.
+struct Clustering {
+  std::size_t num_nodes = 0;
+  /// owned[c]: nodes assigned to cluster c, ascending. Clusters are
+  /// pairwise disjoint and cover every node exactly once.
+  std::vector<std::vector<std::size_t>> owned;
+  /// halo[c]: the 1-hop boundary of cluster c — every node outside the
+  /// cluster adjacent (by a structural edge) to an owned node. Ascending,
+  /// disjoint from owned[c].
+  std::vector<std::vector<std::size_t>> halo;
+  /// cluster_of[i]: the owning cluster of node i.
+  std::vector<std::size_t> cluster_of;
+
+  [[nodiscard]] std::size_t num_clusters() const noexcept {
+    return owned.size();
+  }
+};
+
+/// Seeded BFS partitioner. Fully deterministic: the same (seed, adjacency,
+/// num_clusters) triple always yields the same Clustering — growth is
+/// sequential (no threading) and every choice is by fixed rule (round-robin
+/// cluster order, FIFO frontiers, ascending CSR neighbour order, smallest
+/// unassigned index on teleport). Cluster sizes are capped at ceil(N/C), so
+/// the partition stays balanced even on disconnected or star-shaped graphs.
+class ClusterPartitioner {
+ public:
+  explicit ClusterPartitioner(std::uint64_t seed = 0) : seed_(seed) {}
+
+  /// Partition the nodes of a square CSR adjacency into
+  /// min(num_clusters, N) clusters (num_clusters must be > 0).
+  [[nodiscard]] Clustering partition(const CsrMatrix& adjacency,
+                                     std::size_t num_clusters) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace rihgcn::graph

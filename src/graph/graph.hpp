@@ -9,6 +9,7 @@
 
 #include "tensor/csr.hpp"
 #include "tensor/matrix.hpp"
+#include "timeseries/distance.hpp"
 
 namespace rihgcn::graph {
 
@@ -75,6 +76,67 @@ struct AdjacencyOptions {
 [[nodiscard]] CsrMatrix scaled_laplacian_csr(const Matrix& laplacian,
                                              double lambda_max = -1.0,
                                              double tol = 0.0);
+
+// ---- k-NN graph pipeline for city-scale N (DESIGN.md §13) -----------------
+//
+// At N = 16384 a dense N x N matrix is 2 GiB; this pipeline never builds
+// one. Adjacency lives as a CsrMatrix from the start (k-NN edge set,
+// union-symmetrized), and the Laplacian / rescaling steps below operate
+// CSR-to-CSR. The selection rule behind every k-NN list is the shared
+// ts::TopKNeighbors helper — keep the k smallest distances per row, ties
+// broken toward the smaller index — so the spatial graphs here and the
+// temporal graphs from ts::knn_series_graph sparsify identically.
+//
+// Bitwise-parity contract with the dense pipeline: for the same adjacency
+// (CSR vs dense with the same entries), degree_vector, normalized Laplacian,
+// largest_eigenvalue and Chebyshev rescaling below produce bit-identical
+// values to their dense counterparts followed by CsrMatrix::from_dense
+// (tol = 0). The dense loops only add zero-valued terms that the CSR loops
+// skip, and adding ±0.0 to a nonzero partial sum never changes its bits;
+// exact zeros produced by the arithmetic are dropped on both paths
+// (from_dense keeps |v| > 0). tests/test_knn_graph.cpp enforces == .
+
+/// Row-wise k-NN sparsification of a dense symmetric distance matrix
+/// (diagonal excluded). k is clamped to N-1. Sharded over the global
+/// ThreadPool; results are thread-count independent.
+[[nodiscard]] ts::NeighborList knn_from_distances(const Matrix& distances,
+                                                  std::size_t k);
+
+/// k-NN over Euclidean distances between rows of `coords` (N x dim) without
+/// materializing the N x N distance matrix. Bitwise equal to
+/// knn_from_distances(pairwise_euclidean(coords), k).
+[[nodiscard]] ts::NeighborList knn_from_coords(const Matrix& coords,
+                                               std::size_t k);
+
+/// Gaussian-kernel adjacency (paper Eq. 8) restricted to a k-NN edge set,
+/// union-symmetrized (edge kept if either endpoint selected it), returned in
+/// CSR form. When opts.sigma is unset, σ is the standard deviation of the
+/// kept directed k-NN distances — NOT the dense pipeline's all-pairs std,
+/// which is exactly the O(N²) pass this path exists to avoid. The diagonal
+/// is never included (k-NN excludes self-pairs).
+[[nodiscard]] CsrMatrix gaussian_knn_adjacency(const ts::NeighborList& knn,
+                                               const AdjacencyOptions& opts =
+                                                   {});
+
+/// Row-sum degrees of a CSR adjacency; bitwise equal to the dense overload.
+[[nodiscard]] std::vector<double> degree_vector(const CsrMatrix& adjacency);
+
+/// Symmetric normalized Laplacian L = I − D^{-1/2} A D^{-1/2}, CSR to CSR.
+/// Isolated nodes contribute an identity row. Bitwise equal to
+/// from_dense(normalized_laplacian(dense A)).
+[[nodiscard]] CsrMatrix normalized_laplacian_csr(const CsrMatrix& adjacency);
+
+/// Power-iteration largest eigenvalue, CSR overload; same shifted iteration,
+/// start vector and Rayleigh quotient as the dense version.
+[[nodiscard]] double largest_eigenvalue(const CsrMatrix& symmetric,
+                                        std::size_t max_iters = 200,
+                                        double tol = 1e-9);
+
+/// Chebyshev rescaling L̃ = 2L/λ_max − I, CSR to CSR. lambda_max <= 0 is
+/// estimated with the CSR largest_eigenvalue. Exact zeros produced by the
+/// rescaling are dropped (matching from_dense of the dense result).
+[[nodiscard]] CsrMatrix scaled_laplacian_csr(const CsrMatrix& laplacian,
+                                             double lambda_max = -1.0);
 
 /// Structural sparsity summary of a graph matrix.
 struct SparsityStats {

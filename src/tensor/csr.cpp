@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/parallel.hpp"
 #include "tensor/simd.hpp"
@@ -16,7 +17,8 @@ namespace {
 // count, and `work` ~ nnz * m decides whether pool dispatch is worth it.
 template <typename Body>
 void for_csr_rows(std::size_t rows, std::size_t work, Body&& body) {
-  if (work < ParallelTuning::min_matmul_flops) {
+  if (work < ParallelTuning::min_matmul_flops ||
+      work < ParallelTuning::serial_cutover_flops) {
     body(std::size_t{0}, rows);
     return;
   }
@@ -80,26 +82,100 @@ CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double tol) {
     }
     out.row_ptr_[i + 1] = out.vals_.size();
   }
-  // Transpose structure: count per column, prefix-sum, then fill by
-  // ascending row so each transposed row ends up sorted by original row.
-  out.t_row_ptr_.assign(m + 1, 0);
-  for (const std::size_t c : out.col_idx_) ++out.t_row_ptr_[c + 1];
-  for (std::size_t c = 0; c < m; ++c) {
-    out.t_row_ptr_[c + 1] += out.t_row_ptr_[c];
+  out.build_transpose();
+  return out;
+}
+
+CsrMatrix CsrMatrix::from_parts(std::size_t rows, std::size_t cols,
+                                std::vector<std::size_t> row_ptr,
+                                std::vector<std::size_t> col_idx,
+                                std::vector<double> vals) {
+  if (row_ptr.size() != rows + 1 || row_ptr.front() != 0 ||
+      row_ptr.back() != col_idx.size() || col_idx.size() != vals.size()) {
+    throw ShapeError("CsrMatrix::from_parts: inconsistent CSR arrays");
   }
-  out.t_col_idx_.resize(nnz);
-  out.t_vals_.resize(nnz);
-  std::vector<std::size_t> cursor(out.t_row_ptr_.begin(),
-                                  out.t_row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (row_ptr[i] > row_ptr[i + 1]) {
+      throw ShapeError("CsrMatrix::from_parts: row_ptr not monotone");
+    }
+    for (std::size_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      if (col_idx[e] >= cols ||
+          (e > row_ptr[i] && col_idx[e] <= col_idx[e - 1])) {
+        throw ShapeError(
+            "CsrMatrix::from_parts: columns must be strictly ascending and "
+            "in range within each row");
+      }
+    }
+  }
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_ = std::move(row_ptr);
+  out.col_idx_ = std::move(col_idx);
+  out.vals_ = std::move(vals);
+  out.build_transpose();
+  return out;
+}
+
+CsrMatrix CsrMatrix::submatrix(const std::vector<std::size_t>& nodes) const {
+  constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+  // Old-index -> new-index map; validates strict ascent/range as it fills.
+  std::vector<std::size_t> local(cols_, kAbsent);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= rows_ || nodes[i] >= cols_ ||
+        (i > 0 && nodes[i] <= nodes[i - 1])) {
+      throw ShapeError(
+          "CsrMatrix::submatrix: nodes must be strictly ascending and within "
+          "range");
+    }
+    local[nodes[i]] = i;
+  }
+  const std::size_t n = nodes.size();
+  std::vector<std::size_t> sub_ptr(n + 1, 0);
+  std::vector<std::size_t> sub_idx;
+  std::vector<double> sub_vals;
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t e = out.row_ptr_[i]; e < out.row_ptr_[i + 1]; ++e) {
-      const std::size_t c = out.col_idx_[e];
-      out.t_col_idx_[cursor[c]] = i;
-      out.t_vals_[cursor[c]] = out.vals_[e];
+    const std::size_t r = nodes[i];
+    // Source columns are ascending, and `nodes` is ascending, so the kept
+    // entries stay ascending after remapping — no sort needed.
+    for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const std::size_t c = local[col_idx_[e]];
+      if (c == kAbsent) continue;
+      sub_idx.push_back(c);
+      sub_vals.push_back(vals_[e]);
+    }
+    sub_ptr[i + 1] = sub_vals.size();
+  }
+  CsrMatrix out;
+  out.rows_ = n;
+  out.cols_ = n;
+  out.row_ptr_ = std::move(sub_ptr);
+  out.col_idx_ = std::move(sub_idx);
+  out.vals_ = std::move(sub_vals);
+  out.build_transpose();
+  return out;
+}
+
+// Transpose structure: count per column, prefix-sum, then fill by
+// ascending row so each transposed row ends up sorted by original row.
+void CsrMatrix::build_transpose() {
+  const std::size_t nnz = vals_.size();
+  t_row_ptr_.assign(cols_ + 1, 0);
+  for (const std::size_t c : col_idx_) ++t_row_ptr_[c + 1];
+  for (std::size_t c = 0; c < cols_; ++c) {
+    t_row_ptr_[c + 1] += t_row_ptr_[c];
+  }
+  t_col_idx_.resize(nnz);
+  t_vals_.resize(nnz);
+  std::vector<std::size_t> cursor(t_row_ptr_.begin(), t_row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      const std::size_t c = col_idx_[e];
+      t_col_idx_[cursor[c]] = i;
+      t_vals_[cursor[c]] = vals_[e];
       ++cursor[c];
     }
   }
-  return out;
 }
 
 double CsrMatrix::density() const noexcept {

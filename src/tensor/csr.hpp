@@ -47,6 +47,22 @@ class CsrMatrix {
   [[nodiscard]] static CsrMatrix from_dense(const Matrix& dense,
                                             double tol = 0.0);
 
+  /// Build directly from CSR arrays (the sparse graph pipeline constructs
+  /// Laplacians without a dense detour). Column indices must be strictly
+  /// ascending within each row; validated, throws ShapeError on malformed
+  /// input. The transpose structure is built here, as in from_dense.
+  [[nodiscard]] static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
+                                            std::vector<std::size_t> row_ptr,
+                                            std::vector<std::size_t> col_idx,
+                                            std::vector<double> vals);
+
+  /// Symmetric sub-matrix extraction: rows AND columns restricted to
+  /// `nodes`, which must be strictly ascending and within range. Entry
+  /// (i, j) of the result is entry (nodes[i], nodes[j]) of this matrix —
+  /// the per-cluster sub-Laplacian builder of the partitioned trainer.
+  /// O(|nodes| + nnz of the selected rows).
+  [[nodiscard]] CsrMatrix submatrix(const std::vector<std::size_t>& nodes) const;
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
   /// Number of stored entries.
@@ -75,6 +91,10 @@ class CsrMatrix {
                                 Matrix& out);
 
  private:
+  /// Fill t_row_ptr_/t_col_idx_/t_vals_ from the forward structure
+  /// (count per column, prefix-sum, fill by ascending row).
+  void build_transpose();
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   // A in CSR.

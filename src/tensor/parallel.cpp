@@ -279,18 +279,21 @@ constexpr std::size_t kDefaultMinElems = std::size_t{1} << 16;
 constexpr std::size_t kDefaultElemGrain = std::size_t{1} << 15;
 constexpr std::size_t kDefaultMinMatmulFlops = std::size_t{1} << 19;
 constexpr std::size_t kDefaultMatmulRowGrain = 16;
+constexpr std::size_t kDefaultSerialCutoverFlops = std::size_t{1} << 22;
 }  // namespace
 
 std::size_t ParallelTuning::min_elems = kDefaultMinElems;
 std::size_t ParallelTuning::elem_grain = kDefaultElemGrain;
 std::size_t ParallelTuning::min_matmul_flops = kDefaultMinMatmulFlops;
 std::size_t ParallelTuning::matmul_row_grain = kDefaultMatmulRowGrain;
+std::size_t ParallelTuning::serial_cutover_flops = kDefaultSerialCutoverFlops;
 
 void ParallelTuning::reset() noexcept {
   min_elems = kDefaultMinElems;
   elem_grain = kDefaultElemGrain;
   min_matmul_flops = kDefaultMinMatmulFlops;
   matmul_row_grain = kDefaultMatmulRowGrain;
+  serial_cutover_flops = kDefaultSerialCutoverFlops;
 }
 
 }  // namespace rihgcn

@@ -127,6 +127,15 @@ struct ParallelTuning {
   static std::size_t elem_grain;        ///< elementwise ops: chunk size
   static std::size_t min_matmul_flops;  ///< matmul family: min n*k*m
   static std::size_t matmul_row_grain;  ///< matmul family: rows per chunk
+  /// Serial cut-over for the row-partitioned (matmul/SpMM) dispatchers: jobs
+  /// whose TOTAL work is below this many flops skip pool dispatch entirely,
+  /// even above min_matmul_flops. Rationale (BENCH_micro.json): a ~1 Mflop
+  /// dispatch splits into ~16 chunks of a few µs each, and the wake/steal/
+  /// join overhead then exceeds the parallel win (cheb_dense N=64 ran 23%
+  /// SLOWER @4T than @1T). Below ~4 Mflops the serial kernel is never worse
+  /// than the dispatched one on the sizes the model produces. Results are
+  /// unaffected — dispatch never changes bits (DESIGN.md §8).
+  static std::size_t serial_cutover_flops;
   /// Restore the defaults (tests).
   static void reset() noexcept;
 };

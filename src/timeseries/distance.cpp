@@ -1,11 +1,15 @@
 #include "timeseries/distance.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "tensor/parallel.hpp"
 
 namespace rihgcn::ts {
 
@@ -14,9 +18,14 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Generic DTW skeleton parameterized by a local-cost callable cost(i, j).
+/// `cutoff` enables row-wise early abandoning: once no reachable cell of a
+/// DP row is below it, the final value cannot be either (every complete
+/// warping path visits each row and local costs are >= 0), so +inf is
+/// returned. The abandon test is a pure comparison — DP arithmetic is
+/// untouched — so a finite result is bitwise identical to cutoff = +inf.
 template <typename CostFn>
 double dtw_impl(std::size_t n, std::size_t m, std::ptrdiff_t band,
-                CostFn&& cost) {
+                CostFn&& cost, double cutoff = kInf) {
   if (n == 0 || m == 0) {
     throw std::invalid_argument("dtw: empty series");
   }
@@ -34,6 +43,7 @@ double dtw_impl(std::size_t n, std::size_t m, std::ptrdiff_t band,
           std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(m),
                                    center + band + 1));
     }
+    double row_min = kInf;
     for (std::size_t j = j_lo; j < j_hi; ++j) {
       double best;
       if (i == 0 && j == 0) {
@@ -45,7 +55,9 @@ double dtw_impl(std::size_t n, std::size_t m, std::ptrdiff_t band,
         if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);
       }
       curr[j] = best + cost(i, j);
+      row_min = std::min(row_min, curr[j]);
     }
+    if (!(row_min < cutoff)) return kInf;  // abandoned: true dtw >= cutoff
     prev.swap(curr);
   }
   return prev[m - 1];
@@ -151,6 +163,204 @@ Matrix pairwise_series_distance(const Matrix& series, SeriesDistance kind) {
       const double d = series_distance(kind, a, b);
       out(i, j) = out(j, i) = d;
     }
+  }
+  return out;
+}
+
+// ---- Pruned k-NN DTW graph construction (DESIGN.md §13) --------------------
+
+double lb_kim(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("lb_kim: empty series");
+  }
+  double lb = std::abs(a.front() - b.front());
+  // (0,0) and (n-1,m-1) are distinct path cells unless both series have
+  // length 1, so the endpoint costs add.
+  if (a.size() > 1 || b.size() > 1) lb += std::abs(a.back() - b.back());
+  return lb;
+}
+
+KeoghEnvelope keogh_envelope(std::span<const double> s, std::ptrdiff_t band) {
+  const std::size_t m = s.size();
+  KeoghEnvelope env;
+  env.lower.resize(m);
+  env.upper.resize(m);
+  if (m == 0) return env;
+  const std::size_t r =
+      band < 0 ? m : static_cast<std::size_t>(band);
+  if (r >= m) {  // unconstrained: global min/max
+    const auto [lo, hi] = std::minmax_element(s.begin(), s.end());
+    std::fill(env.lower.begin(), env.lower.end(), *lo);
+    std::fill(env.upper.begin(), env.upper.end(), *hi);
+    return env;
+  }
+  // Monotone-deque sliding window min/max over |i - j| <= r, O(m) total.
+  std::deque<std::size_t> min_q, max_q;
+  std::size_t fed = 0;  // elements pushed into the deques so far
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t hi = std::min(m, i + r + 1);
+    for (; fed < hi; ++fed) {
+      while (!min_q.empty() && s[min_q.back()] >= s[fed]) min_q.pop_back();
+      min_q.push_back(fed);
+      while (!max_q.empty() && s[max_q.back()] <= s[fed]) max_q.pop_back();
+      max_q.push_back(fed);
+    }
+    const std::size_t lo = i >= r ? i - r : 0;
+    while (min_q.front() < lo) min_q.pop_front();
+    while (max_q.front() < lo) max_q.pop_front();
+    env.lower[i] = s[min_q.front()];
+    env.upper[i] = s[max_q.front()];
+  }
+  return env;
+}
+
+double lb_keogh(std::span<const double> a, const KeoghEnvelope& env_b) {
+  if (a.size() != env_b.lower.size()) {
+    throw std::invalid_argument("lb_keogh: length mismatch");
+  }
+  double lb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > env_b.upper[i]) {
+      lb += a[i] - env_b.upper[i];
+    } else if (a[i] < env_b.lower[i]) {
+      lb += env_b.lower[i] - a[i];
+    }
+  }
+  return lb;
+}
+
+double dtw_early_abandoned(std::span<const double> a,
+                           std::span<const double> b, std::ptrdiff_t band,
+                           double cutoff) {
+  return dtw_impl(
+      a.size(), b.size(), band,
+      [&](std::size_t i, std::size_t j) { return std::abs(a[i] - b[j]); },
+      cutoff);
+}
+
+double TopKNeighbors::cutoff() const noexcept {
+  return items_.size() < k_ ? kInf : items_.back().dist;
+}
+
+bool TopKNeighbors::offer(double d, std::size_t j) {
+  if (!(d < cutoff())) return false;
+  // Insert before the first strictly-greater distance: equal distances
+  // keep their earlier (smaller) index first.
+  auto pos = std::upper_bound(
+      items_.begin(), items_.end(), d,
+      [](double value, const Neighbor& c) { return value < c.dist; });
+  items_.insert(pos, Neighbor{d, j});
+  if (items_.size() > k_) items_.pop_back();
+  return true;
+}
+
+namespace {
+
+/// Top-k scan of row `i` against every other row. The TopKNeighbors
+/// selection rule is shared by the exact and pruned modes; pruning can then
+/// safely discard any candidate whose lower bound is >= the running cutoff,
+/// because the exact loop would have rejected it too.
+void scan_row(const Matrix& series, std::size_t i, const KnnOptions& opts,
+              const std::vector<KeoghEnvelope>& envs, TopKNeighbors& best,
+              KnnStats& st) {
+  const std::size_t n = series.rows();
+  const std::size_t len = series.cols();
+  const std::span<const double> a(series.data() + i * len, len);
+  best.clear();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    ++st.pairs;
+    const double cutoff = best.cutoff();
+    const std::span<const double> b(series.data() + j * len, len);
+    if (opts.prune && cutoff < kInf) {
+      if (lb_kim(a, b) >= cutoff) {
+        ++st.lb_kim_pruned;
+        continue;
+      }
+      if (lb_keogh(a, envs[j]) >= cutoff) {
+        ++st.lb_keogh_pruned;
+        continue;
+      }
+    }
+    ++st.dtw_started;
+    const double d =
+        opts.prune
+            ? dtw_early_abandoned(a, b, opts.band, cutoff)
+            : dtw_impl(len, len, opts.band,
+                       [&](std::size_t p, std::size_t q) {
+                         return std::abs(a[p] - b[q]);
+                       });
+    if (!best.offer(d, j)) {
+      if (opts.prune && d == kInf) ++st.dtw_abandoned;
+    }
+  }
+}
+
+}  // namespace
+
+NeighborList knn_series_graph(const Matrix& series, const KnnOptions& opts,
+                              KnnStats* stats) {
+  const std::size_t n = series.rows();
+  const std::size_t len = series.cols();
+  if (opts.k == 0) {
+    throw std::invalid_argument("knn_series_graph: k must be > 0");
+  }
+  if (n > 0 && len == 0) {
+    throw std::invalid_argument("knn_series_graph: empty series");
+  }
+  const std::size_t k = n == 0 ? 0 : std::min(opts.k, n - 1);
+  NeighborList out;
+  out.num_nodes = n;
+  out.k = k;
+  out.offsets.resize(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) out.offsets[i] = i * k;
+  out.idx.assign(n * k, 0);
+  out.dist.assign(n * k, 0.0);
+  if (n == 0 || k == 0) return out;
+
+  // Keogh envelopes, one per row, built up front (pruned mode only):
+  // O(N·T) memory, reused by every scan against that row.
+  std::vector<KeoghEnvelope> envs;
+  ThreadPool& pool = ThreadPool::global();
+  // Fixed row grain — shard boundaries (hence per-row results and the shard
+  // ownership) never depend on the thread count.
+  constexpr std::size_t kRowGrain = 4;
+  if (opts.prune) {
+    envs.resize(n);
+    pool.parallel_for(0, n, kRowGrain, [&](std::size_t b, std::size_t e) {
+      for (std::size_t j = b; j < e; ++j) {
+        envs[j] = keogh_envelope(
+            std::span<const double>(series.data() + j * len, len), opts.band);
+      }
+    });
+  }
+
+  // Work counters: integer sums are order-independent, so relaxed atomics
+  // keep the reported stats thread-count deterministic.
+  std::atomic<std::size_t> pairs{0}, kim{0}, keogh{0}, started{0},
+      abandoned{0};
+  pool.parallel_for(0, n, kRowGrain, [&](std::size_t b, std::size_t e) {
+    TopKNeighbors best(k);
+    KnnStats local;
+    for (std::size_t i = b; i < e; ++i) {
+      scan_row(series, i, opts, envs, best, local);
+      for (std::size_t r = 0; r < best.size(); ++r) {
+        out.idx[i * k + r] = best.items()[r].idx;
+        out.dist[i * k + r] = best.items()[r].dist;
+      }
+    }
+    pairs.fetch_add(local.pairs, std::memory_order_relaxed);
+    kim.fetch_add(local.lb_kim_pruned, std::memory_order_relaxed);
+    keogh.fetch_add(local.lb_keogh_pruned, std::memory_order_relaxed);
+    started.fetch_add(local.dtw_started, std::memory_order_relaxed);
+    abandoned.fetch_add(local.dtw_abandoned, std::memory_order_relaxed);
+  });
+  if (stats != nullptr) {
+    stats->pairs = pairs.load();
+    stats->lb_kim_pruned = kim.load();
+    stats->lb_keogh_pruned = keogh.load();
+    stats->dtw_started = started.load();
+    stats->dtw_abandoned = abandoned.load();
   }
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "tensor/matrix.hpp"
 
@@ -50,5 +51,132 @@ enum class SeriesDistance { kDtw, kErp, kLcss };
 [[nodiscard]] Matrix pairwise_series_distance(const Matrix& series,
                                               SeriesDistance kind =
                                                   SeriesDistance::kDtw);
+
+// ---- Pruned k-NN DTW graph construction (DESIGN.md §13) --------------------
+//
+// Building a temporal graph over N nodes from pairwise DTW is O(N² T²) —
+// unreachable at city scale. What the graph actually needs is only the k
+// nearest neighbours of every node, and DTW admits cheap lower bounds
+// (LB_Kim O(1), LB_Keogh O(T)) plus row-wise early abandoning, so an exact
+// top-k scan degenerates to ~O(N·k) full DTW evaluations in practice.
+//
+// Determinism/parity contract: knn_series_graph with prune on and off
+// returns BITWISE-identical neighbour lists (indices and distances) at any
+// thread count. Pruning only ever skips candidates whose lower bound is
+// >= the running k-th best distance — candidates the exact selection loop
+// would reject anyway — and surviving candidates run through the very same
+// dtw_impl arithmetic as dtw(), so kept distances carry identical bits.
+// Rows are sharded over the global ThreadPool with a fixed grain; each row's
+// result depends only on that row's scan, never on scheduling.
+
+/// LB_Kim (first/last-point bound): every warping path aligns the two first
+/// elements and the two last elements, so
+///   |a_0 - b_0| + |a_{n-1} - b_{m-1}| <= dtw(a, b).
+[[nodiscard]] double lb_kim(std::span<const double> a,
+                            std::span<const double> b);
+
+/// Sliding min/max envelope of a series for LB_Keogh: lower[i]/upper[i] are
+/// the min/max of s over the window |i - j| <= band (band < 0 = the whole
+/// series, matching dtw()'s unconstrained alignment).
+struct KeoghEnvelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+[[nodiscard]] KeoghEnvelope keogh_envelope(std::span<const double> s,
+                                           std::ptrdiff_t band);
+
+/// LB_Keogh: sum over i of the distance from a_i to [lower_i, upper_i] of
+/// b's envelope. Requires equal lengths and the same band as the dtw() call
+/// it bounds: lb_keogh(a, env(b, band)) <= dtw(a, b, band).
+[[nodiscard]] double lb_keogh(std::span<const double> a,
+                              const KeoghEnvelope& env_b);
+
+/// DTW with row-wise early abandoning: identical arithmetic to dtw(), but
+/// after each DP row, if every reachable cell already costs >= `cutoff` the
+/// search is abandoned (every complete path must pass through each row and
+/// local costs are nonnegative, so the true distance is >= cutoff too) and
+/// +inf is returned. A finite return value is bitwise equal to dtw(a, b,
+/// band); +inf means only dtw(a, b, band) >= cutoff.
+[[nodiscard]] double dtw_early_abandoned(std::span<const double> a,
+                                         std::span<const double> b,
+                                         std::ptrdiff_t band, double cutoff);
+
+/// One selected neighbour; ordering is (dist, idx) ascending.
+struct Neighbor {
+  double dist = 0.0;
+  std::size_t idx = 0;
+};
+
+/// The row-sparsify selection rule shared by every k-NN graph builder —
+/// spatial (graph::knn_from_distances / knn_from_coords) and temporal
+/// (knn_series_graph): keep the k smallest (distance, index) pairs while
+/// scanning candidate indices ASCENDING. A candidate is admitted only when
+/// its distance is STRICTLY below the current k-th best, so an equal
+/// distance at a later index always loses the tie. That strictness is what
+/// makes lower-bound pruning sound: skipping any candidate whose lower bound
+/// is >= cutoff() can never change the selected set.
+class TopKNeighbors {
+ public:
+  explicit TopKNeighbors(std::size_t k) : k_(k) { items_.reserve(k + 1); }
+
+  /// Admission threshold: +inf until k candidates are held, then the k-th
+  /// smallest distance seen. Any candidate whose distance (or any lower
+  /// bound on it) is >= this value cannot enter the selection.
+  [[nodiscard]] double cutoff() const noexcept;
+  /// Offer candidate (d, j); call with j strictly ascending. Returns true
+  /// if the candidate was admitted (d < cutoff()).
+  bool offer(double d, std::size_t j);
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  /// Selection so far, sorted by (dist, idx) ascending.
+  [[nodiscard]] const std::vector<Neighbor>& items() const noexcept {
+    return items_;
+  }
+  /// Reset for the next row (capacity is kept).
+  void clear() noexcept { items_.clear(); }
+
+ private:
+  std::size_t k_;
+  std::vector<Neighbor> items_;
+};
+
+/// Per-row k-nearest-neighbour lists over the rows of a series matrix.
+/// Row i's neighbours live at [offsets[i], offsets[i+1]) of idx/dist, sorted
+/// by (distance, index) ascending — ties broken toward the smaller index.
+struct NeighborList {
+  std::size_t num_nodes = 0;
+  std::size_t k = 0;  ///< neighbours per row (= min(requested k, N-1))
+  std::vector<std::size_t> offsets;  ///< num_nodes + 1
+  std::vector<std::size_t> idx;
+  std::vector<double> dist;
+};
+
+struct KnnOptions {
+  std::size_t k = 8;
+  /// Sakoe-Chiba band for the DTW calls (negative = unconstrained).
+  std::ptrdiff_t band = -1;
+  /// Apply LB_Kim/LB_Keogh prefilter + early abandon. Off = exact full scan
+  /// with the same selection rule (the parity reference).
+  bool prune = true;
+};
+
+/// Work counters for tests and benches (summed atomically; exact counts are
+/// thread-count independent because each candidate pair is classified by a
+/// deterministic per-row scan).
+struct KnnStats {
+  std::size_t pairs = 0;            ///< candidate pairs considered
+  std::size_t lb_kim_pruned = 0;    ///< rejected by LB_Kim
+  std::size_t lb_keogh_pruned = 0;  ///< rejected by LB_Keogh
+  std::size_t dtw_started = 0;      ///< exact DPs entered
+  std::size_t dtw_abandoned = 0;    ///< exact DPs abandoned early
+};
+
+/// Deterministic top-k DTW neighbour search over the rows of `series`
+/// (N x T), sharded over the global ThreadPool. See the contract above:
+/// results are bitwise identical for prune on/off and any thread count, and
+/// no N x N matrix is ever materialized (peak extra memory is O(N·(k + T))).
+[[nodiscard]] NeighborList knn_series_graph(const Matrix& series,
+                                            const KnnOptions& opts = {},
+                                            KnnStats* stats = nullptr);
 
 }  // namespace rihgcn::ts

@@ -1,0 +1,338 @@
+// The city-scale k-NN graph pipeline (DESIGN.md §13):
+//
+//  * DTW lower bounds really lower-bound DTW (LB_Kim, LB_Keogh) and
+//    early-abandoned DTW is exact when it completes.
+//  * knn_series_graph with pruning on is BITWISE identical to the exact
+//    full scan, at 1 and 4 threads, and actually prunes work.
+//  * The spatial k-NN builders (knn_from_distances / knn_from_coords) agree
+//    bitwise with each other and with the temporal scan on shared inputs.
+//  * The CSR Laplacian pipeline (gaussian_knn_adjacency →
+//    normalized_laplacian_csr → largest_eigenvalue → scaled_laplacian_csr)
+//    is bitwise equal to the dense pipeline + from_dense on the same
+//    adjacency.
+//  * CsrMatrix::from_parts validation and submatrix extraction.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "tensor/csr.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/rng.hpp"
+#include "timeseries/distance.hpp"
+
+namespace rihgcn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Pin the pool width and force threaded dispatch on tiny inputs (same idiom
+// as test_parallel.cpp); restore defaults on destruction.
+class BackendGuard {
+ public:
+  explicit BackendGuard(std::size_t threads) {
+    ParallelTuning::min_elems = 1;
+    ParallelTuning::elem_grain = 4;
+    ParallelTuning::min_matmul_flops = 1;
+    ParallelTuning::serial_cutover_flops = 1;
+    ThreadPool::set_global_threads(threads);
+  }
+  ~BackendGuard() {
+    ParallelTuning::reset();
+    ThreadPool::set_global_threads(0);
+  }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+};
+
+// N node series with diurnal structure in a few phase clusters, so k-NN has
+// genuinely close neighbours (pruning bites) plus noise.
+Matrix clustered_series(std::size_t n, std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix s(n, len);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = static_cast<double>(i % 4) * 1.3;
+    const double amp = 1.0 + 0.25 * static_cast<double>(i % 3);
+    for (std::size_t t = 0; t < len; ++t) {
+      s(i, t) = amp * std::sin(0.4 * static_cast<double>(t) + phase) +
+                0.15 * rng.normal();
+    }
+  }
+  return s;
+}
+
+std::span<const double> row_span(const Matrix& m, std::size_t r) {
+  return {m.data() + r * m.cols(), m.cols()};
+}
+
+// ---- Lower bounds ---------------------------------------------------------
+
+TEST(DtwBounds, LbKimLowerBoundsDtw) {
+  const Matrix s = clustered_series(12, 20, 11);
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t j = i + 1; j < s.rows(); ++j) {
+      const double d = ts::dtw(row_span(s, i), row_span(s, j));
+      EXPECT_LE(ts::lb_kim(row_span(s, i), row_span(s, j)), d);
+    }
+  }
+}
+
+TEST(DtwBounds, LbKeoghLowerBoundsDtw) {
+  const Matrix s = clustered_series(10, 24, 12);
+  for (const std::ptrdiff_t band : {std::ptrdiff_t{-1}, std::ptrdiff_t{3}}) {
+    std::vector<ts::KeoghEnvelope> envs;
+    for (std::size_t j = 0; j < s.rows(); ++j) {
+      envs.push_back(ts::keogh_envelope(row_span(s, j), band));
+    }
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      for (std::size_t j = 0; j < s.rows(); ++j) {
+        if (i == j) continue;
+        const double d = ts::dtw(row_span(s, i), row_span(s, j), band);
+        EXPECT_LE(ts::lb_keogh(row_span(s, i), envs[j]), d)
+            << "band " << band << " pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(DtwBounds, EarlyAbandonIsExactWhenItCompletes) {
+  const Matrix s = clustered_series(8, 18, 13);
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t j = 0; j < s.rows(); ++j) {
+      if (i == j) continue;
+      const double exact = ts::dtw(row_span(s, i), row_span(s, j), 4);
+      // Generous cutoff: must complete and reproduce dtw() bit-for-bit.
+      EXPECT_EQ(ts::dtw_early_abandoned(row_span(s, i), row_span(s, j), 4,
+                                        exact * 2.0 + 1.0),
+                exact);
+      // Tight cutoff: either abandoned (+inf) or still the exact bits.
+      const double tight =
+          ts::dtw_early_abandoned(row_span(s, i), row_span(s, j), 4, exact * 0.5);
+      EXPECT_TRUE(tight == kInf || tight == exact);
+    }
+  }
+}
+
+// ---- Pruned scan parity ---------------------------------------------------
+
+TEST(KnnSeriesGraph, PrunedMatchesExactBitwise) {
+  const Matrix s = clustered_series(48, 24, 14);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    BackendGuard guard(threads);
+    ts::KnnOptions exact_opts;
+    exact_opts.k = 6;
+    exact_opts.band = 4;
+    exact_opts.prune = false;
+    ts::KnnOptions pruned_opts = exact_opts;
+    pruned_opts.prune = true;
+    ts::KnnStats st;
+    const ts::NeighborList a = ts::knn_series_graph(s, exact_opts);
+    const ts::NeighborList b = ts::knn_series_graph(s, pruned_opts, &st);
+    EXPECT_EQ(a.offsets, b.offsets);
+    EXPECT_EQ(a.idx, b.idx);
+    EXPECT_EQ(a.dist, b.dist);  // bitwise: == on doubles
+    // The pruning actually did something on structured data.
+    EXPECT_GT(st.lb_kim_pruned + st.lb_keogh_pruned + st.dtw_abandoned, 0u);
+    EXPECT_LT(st.dtw_started, st.pairs);
+  }
+}
+
+TEST(KnnSeriesGraph, ThreadCountInvariant) {
+  const Matrix s = clustered_series(30, 20, 15);
+  ts::KnnOptions opts;
+  opts.k = 5;
+  opts.band = 3;
+  ts::NeighborList ref;
+  {
+    BackendGuard guard(1);
+    ref = ts::knn_series_graph(s, opts);
+  }
+  {
+    BackendGuard guard(4);
+    const ts::NeighborList got = ts::knn_series_graph(s, opts);
+    EXPECT_EQ(ref.idx, got.idx);
+    EXPECT_EQ(ref.dist, got.dist);
+  }
+}
+
+TEST(KnnSeriesGraph, MatchesDenseDistanceMatrixPath) {
+  // Unbanded exact scan == k-NN sparsification of the dense DTW matrix.
+  const Matrix s = clustered_series(20, 16, 16);
+  ts::KnnOptions opts;
+  opts.k = 4;
+  opts.band = -1;
+  opts.prune = false;
+  const ts::NeighborList direct = ts::knn_series_graph(s, opts);
+  const Matrix dense = ts::pairwise_series_distance(s, ts::SeriesDistance::kDtw);
+  const ts::NeighborList via_dense = graph::knn_from_distances(dense, 4);
+  EXPECT_EQ(direct.offsets, via_dense.offsets);
+  EXPECT_EQ(direct.idx, via_dense.idx);
+  EXPECT_EQ(direct.dist, via_dense.dist);
+}
+
+// ---- Spatial k-NN ---------------------------------------------------------
+
+TEST(SpatialKnn, CoordsPathMatchesDistanceMatrixPath) {
+  Rng rng(17);
+  const Matrix coords = rng.normal_matrix(40, 2, 3.0);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    BackendGuard guard(threads);
+    const ts::NeighborList direct = graph::knn_from_coords(coords, 6);
+    const ts::NeighborList via_dense =
+        graph::knn_from_distances(graph::pairwise_euclidean(coords), 6);
+    EXPECT_EQ(direct.idx, via_dense.idx);
+    EXPECT_EQ(direct.dist, via_dense.dist);
+  }
+}
+
+TEST(SpatialKnn, TiesBreakTowardSmallerIndex) {
+  // All off-diagonal distances equal: row i must keep the k smallest
+  // indices != i, in ascending order.
+  const std::size_t n = 7;
+  Matrix d(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = 0.0;
+  const ts::NeighborList knn = graph::knn_from_distances(d, 3);
+  ASSERT_EQ(knn.k, 3u);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> expect;
+    for (std::size_t j = 0; expect.size() < 3; ++j) {
+      if (j != i) expect.push_back(j);
+    }
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(knn.idx[knn.offsets[i] + r], expect[r]) << "row " << i;
+    }
+  }
+}
+
+TEST(SpatialKnn, KClampedToNMinusOne) {
+  Rng rng(18);
+  const Matrix coords = rng.normal_matrix(5, 2, 1.0);
+  const ts::NeighborList knn = graph::knn_from_coords(coords, 100);
+  EXPECT_EQ(knn.k, 4u);
+  EXPECT_EQ(knn.idx.size(), 20u);
+}
+
+// ---- CSR Laplacian pipeline parity ---------------------------------------
+
+TEST(CsrGraphPipeline, MatchesDensePipelineBitwise) {
+  Rng rng(19);
+  const Matrix coords = rng.normal_matrix(32, 2, 4.0);
+  const ts::NeighborList knn = graph::knn_from_coords(coords, 5);
+  graph::AdjacencyOptions opts;
+  opts.epsilon = 0.05;
+  const CsrMatrix adj = graph::gaussian_knn_adjacency(knn, opts);
+  const Matrix adj_dense = adj.to_dense();
+
+  // Degrees.
+  EXPECT_EQ(graph::degree_vector(adj), graph::degree_vector(adj_dense));
+
+  // Normalized Laplacian.
+  const CsrMatrix lap = graph::normalized_laplacian_csr(adj);
+  const CsrMatrix lap_ref =
+      CsrMatrix::from_dense(graph::normalized_laplacian(adj_dense));
+  EXPECT_EQ(lap.row_ptr(), lap_ref.row_ptr());
+  EXPECT_EQ(lap.col_idx(), lap_ref.col_idx());
+  EXPECT_EQ(lap.values(), lap_ref.values());
+
+  // Largest eigenvalue: identical power iteration.
+  EXPECT_EQ(graph::largest_eigenvalue(lap),
+            graph::largest_eigenvalue(lap.to_dense()));
+
+  // Chebyshev rescaling.
+  const CsrMatrix slap = graph::scaled_laplacian_csr(lap);
+  const CsrMatrix slap_ref =
+      CsrMatrix::from_dense(graph::scaled_laplacian(lap.to_dense()));
+  EXPECT_EQ(slap.row_ptr(), slap_ref.row_ptr());
+  EXPECT_EQ(slap.col_idx(), slap_ref.col_idx());
+  EXPECT_EQ(slap.values(), slap_ref.values());
+}
+
+TEST(CsrGraphPipeline, GaussianKnnAdjacencyIsSymmetric) {
+  Rng rng(20);
+  const Matrix coords = rng.normal_matrix(25, 2, 2.0);
+  const CsrMatrix adj =
+      graph::gaussian_knn_adjacency(graph::knn_from_coords(coords, 4));
+  const Matrix d = adj.to_dense();
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    EXPECT_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      EXPECT_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(CsrGraphPipeline, IsolatedNodesGetIdentityRows) {
+  // Two connected pairs plus an isolated node.
+  ts::NeighborList knn;
+  knn.num_nodes = 5;
+  knn.k = 1;
+  knn.offsets = {0, 1, 2, 3, 4, 5};
+  knn.idx = {1, 0, 3, 2, 0};
+  knn.dist = {1.0, 1.0, 1.0, 1.0, 1e9};  // node 4's edge dies at epsilon
+  graph::AdjacencyOptions opts;
+  opts.epsilon = 0.5;
+  opts.sigma = 1.0;
+  const CsrMatrix adj = graph::gaussian_knn_adjacency(knn, opts);
+  const CsrMatrix lap = graph::normalized_laplacian_csr(adj);
+  const Matrix ref = graph::normalized_laplacian(adj.to_dense());
+  EXPECT_EQ(lap.to_dense(), ref);
+  EXPECT_EQ(lap.to_dense()(4, 4), 1.0);
+}
+
+// ---- CsrMatrix construction helpers --------------------------------------
+
+TEST(CsrFromParts, RoundTripsAndValidates) {
+  const CsrMatrix m = CsrMatrix::from_parts(3, 4, {0, 2, 2, 3}, {0, 2, 3},
+                                            {1.0, -2.0, 0.5});
+  Matrix expect(3, 4);
+  expect(0, 0) = 1.0;
+  expect(0, 2) = -2.0;
+  expect(2, 3) = 0.5;
+  EXPECT_EQ(m.to_dense(), expect);
+  // spmm uses the transpose structure built by from_parts: exercise it.
+  Rng rng(21);
+  const Matrix x = rng.normal_matrix(3, 2, 1.0);
+  EXPECT_EQ(spmm_t(m, x), matmul_at(m.to_dense(), x));
+
+  EXPECT_THROW(CsrMatrix::from_parts(2, 2, {0, 1}, {0}, {1.0}), ShapeError);
+  EXPECT_THROW(CsrMatrix::from_parts(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+               ShapeError);
+  EXPECT_THROW(CsrMatrix::from_parts(1, 2, {0, 2}, {1, 0}, {1.0, 2.0}),
+               ShapeError);  // not ascending
+  EXPECT_THROW(CsrMatrix::from_parts(1, 2, {0, 1}, {5}, {1.0}), ShapeError);
+}
+
+TEST(CsrSubmatrix, MatchesDenseExtraction) {
+  Rng rng(22);
+  Matrix dense = rng.normal_matrix(10, 10, 1.0);
+  Matrix keep = rng.uniform_matrix(10, 10, 0.0, 1.0);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (keep.data()[i] >= 0.3) dense.data()[i] = 0.0;
+  }
+  const CsrMatrix m = CsrMatrix::from_dense(dense);
+  const std::vector<std::size_t> nodes = {1, 3, 4, 8};
+  const CsrMatrix sub = m.submatrix(nodes);
+  Matrix expect(nodes.size(), nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      expect(i, j) = dense(nodes[i], nodes[j]);
+    }
+  }
+  EXPECT_EQ(sub.to_dense(), expect);
+  // Transpose structure also valid on the submatrix.
+  Rng rng2(23);
+  const Matrix x = rng2.normal_matrix(nodes.size(), 3, 1.0);
+  EXPECT_EQ(spmm_t(sub, x), matmul_at(expect, x));
+
+  EXPECT_THROW(m.submatrix({3, 1}), ShapeError);
+  EXPECT_THROW(m.submatrix({0, 10}), ShapeError);
+}
+
+}  // namespace
+}  // namespace rihgcn

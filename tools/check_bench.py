@@ -19,6 +19,11 @@ Rows are keyed by (name, n, threads). Two row classes:
 Rows only present in one file are reported but never fail the gate —
 benches grow new rows and retire old ones across PRs.
 
+A baseline row carrying `"informational": true` is never gated either: all
+its differences (timing or counter) are printed as notes. This is how a
+freshly-added row rides one PR without a trusted baseline — once its noise
+floor is known, the flag is dropped and the row joins the gate.
+
 --advisory prints the same report but always exits 0 (the CI job runs in
 this mode first; the flag is dropped once the runner noise floor is known).
 """
@@ -89,6 +94,11 @@ def main() -> int:
     for key in sorted(base.keys() & fresh.keys()):
         old = float(base[key]["ns_per_op"])
         new = float(fresh[key]["ns_per_op"])
+        if base[key].get("informational"):
+            print(
+                f"  info (not gated)  {fmt_key(key)}: {old:g} -> {new:g} ns/op"
+            )
+            continue
         compared += 1
         if is_counter(key[0]):
             if new != old:
