@@ -349,6 +349,21 @@ bench::MicroResult timed_row(const char* name, std::size_t n, double density,
           threads, stats.min_ns, stats.stddev_ns};
 }
 
+// Record one counter row: ns_per_op carries a deterministic program fact
+// (tape nodes, pool misses). The "counter" kind makes tools/check_bench.py
+// exact-diff it instead of applying the timing threshold.
+bench::MicroResult counter_row(const char* name, std::size_t n, double density,
+                               double value, std::size_t threads) {
+  bench::MicroResult r;
+  r.name = name;
+  r.n = n;
+  r.density = density;
+  r.ns_per_op = value;
+  r.threads = threads;
+  r.kind = "counter";
+  return r;
+}
+
 // SpMM vs dense Chebyshev propagation: the two L̃·Z products of the K = 3
 // three-term recurrence (the GCN hot path both backends share).
 void run_sparse_sweep(const bench::BenchOptions& opts,
@@ -616,14 +631,16 @@ void run_train_step_compare(const bench::BenchOptions& opts,
         const auto nodes = static_cast<double>(tape.num_nodes());
         const auto allocs =
             static_cast<double>(tape.pool().misses() - misses_before);
-        results.push_back({sc.fused ? "tape_nodes_fused" : "tape_nodes_unfused",
-                           kNodes, density, nodes, threads});
+        results.push_back(
+            counter_row(sc.fused ? "tape_nodes_fused" : "tape_nodes_unfused",
+                        kNodes, density, nodes, threads));
         std::printf("  %-16s %24.0f nodes\n",
                     sc.fused ? "tape_nodes_fused" : "tape_nodes_unfused",
                     nodes);
         if (sc.fused) {
           results.push_back(
-              {"pool_steady_allocs", kNodes, density, allocs, threads});
+              counter_row("pool_steady_allocs", kNodes, density, allocs,
+                          threads));
           std::printf("  %-16s %24.0f allocs/step\n", "pool_steady_allocs",
                       allocs);
         }

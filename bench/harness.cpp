@@ -278,13 +278,17 @@ void write_micro_json(const std::string& path,
   out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MicroResult& r = results[i];
-    char line[320];
+    char line[384];
+    std::string extra;
+    if (!r.kind.empty()) extra += ", \"kind\": \"" + r.kind + "\"";
+    if (r.informational) extra += ", \"informational\": true";
     std::snprintf(line, sizeof(line),
                   "  {\"name\": \"%s\", \"n\": %zu, \"density\": %.6f, "
                   "\"ns_per_op\": %.1f, \"threads\": %zu, \"min_ns\": %.1f, "
-                  "\"stddev_ns\": %.1f}%s\n",
+                  "\"stddev_ns\": %.1f%s}%s\n",
                   r.name.c_str(), r.n, r.density, r.ns_per_op, r.threads,
-                  r.min_ns, r.stddev_ns, i + 1 < results.size() ? "," : "");
+                  r.min_ns, r.stddev_ns, extra.c_str(),
+                  i + 1 < results.size() ? "," : "");
     out << line;
   }
   out << "]\n";

@@ -51,6 +51,12 @@ struct MicroResult {
   std::size_t threads = 0;
   double min_ns = 0.0;      ///< fastest window (least-interference estimate)
   double stddev_ns = 0.0;   ///< window spread (noise indicator; 0 = counter)
+  /// Row class for tools/check_bench.py: "" = timed (threshold-gated),
+  /// "counter" = deterministic program fact (exact-diff gated).
+  std::string kind;
+  /// True while a freshly-added row rides one PR without a trusted
+  /// baseline; check_bench.py reports but never gates it.
+  bool informational = false;
 };
 
 /// Write micro results as a JSON array of objects. Throws std::runtime_error

@@ -101,6 +101,7 @@ void OnlineForecaster::push_reading(const Matrix& values, const Matrix& mask) {
     masks_.pop_front();
   }
   ++seen_;
+  memo_valid_ = false;  // the window changed; push_gap routes through here too
 }
 
 void OnlineForecaster::push_gap() {
@@ -184,13 +185,21 @@ Matrix OnlineForecaster::robust_predict(const data::Window& w) {
 }
 
 Matrix OnlineForecaster::forecast() {
+  if (memo_valid_) {
+    ++memoized_forecasts_;
+    return memo_forecast_;
+  }
   const data::Window w = make_window();
+  // A throw below (no-readings, unrecoverable primary) leaves memo_valid_
+  // false — failures are never cached.
   Matrix pred = robust_predict(w);
   for (std::size_t i = 0; i < pred.rows(); ++i) {
     for (std::size_t h = 0; h < pred.cols(); ++h) {
       pred(i, h) = normalizer_.denormalize(pred(i, h), 0);
     }
   }
+  memo_forecast_ = pred;
+  memo_valid_ = true;
   return pred;
 }
 
@@ -225,6 +234,7 @@ HealthReport OnlineForecaster::health() const {
   h.stuck_demotions = stuck_demotions_;
   h.model_forecasts = model_forecasts_;
   h.fallback_forecasts = fallback_forecasts_;
+  h.memoized_forecasts = memoized_forecasts_;
   h.scrubbed_outputs = scrubbed_outputs_;
   // Suspects: sensors currently flagged stuck, plus sensors dead (zero
   // observed entries) across a completely full buffer.

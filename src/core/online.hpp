@@ -54,12 +54,14 @@ class OnlineForecaster {
   /// historical mean entry-wise).
   void set_fallback(ForecastModel* fallback) noexcept {
     fallback_ = fallback;
+    memo_valid_ = false;  // the robust path may now resolve differently
   }
   /// A sensor whose target-feature value repeats exactly this many
   /// consecutive observed readings is flagged stuck and its readings are
   /// demoted to missing until the value moves again. 0 disables detection.
   void set_stuck_threshold(std::size_t readings) noexcept {
     stuck_threshold_ = readings;
+    memo_valid_ = false;  // future demotions aside, keep semantics simple
   }
 
   /// Ingest one reading: values in ORIGINAL units; mask flags which entries
@@ -74,6 +76,12 @@ class OnlineForecaster {
   /// ORIGINAL units (num_nodes x horizon). Valid as soon as at least one
   /// reading has been pushed. Guaranteed finite: falls back / scrubs on a
   /// non-finite primary output (see class comment).
+  ///
+  /// Memoized: repeated calls with no ingest in between return a cached
+  /// copy without touching the model (health().memoized_forecasts counts
+  /// them). Any ingest — push_reading or push_gap — invalidates the cache,
+  /// as do set_fallback and set_stuck_threshold. A throwing forecast caches
+  /// nothing.
   [[nodiscard]] Matrix forecast();
 
   /// Serving health: coverage, suspect sensors, sanitize/fallback counters.
@@ -124,6 +132,11 @@ class OnlineForecaster {
   std::size_t model_forecasts_ = 0;
   std::size_t fallback_forecasts_ = 0;
   std::size_t scrubbed_outputs_ = 0;
+
+  // ---- forecast memoization ------------------------------------------------
+  bool memo_valid_ = false;
+  Matrix memo_forecast_;  ///< original units; valid iff memo_valid_
+  std::size_t memoized_forecasts_ = 0;
 };
 
 /// Human-readable parameter inventory of a model (name, shape, count),

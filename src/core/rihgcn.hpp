@@ -132,6 +132,10 @@ struct RihgcnConfig {
 
 class RihgcnModel : public ForecastModel, public ClusterTrainable {
  public:
+  /// The serving-side inference engine (core/engine.hpp) compiles a frozen
+  /// f32 snapshot of this model — it reads the module tree and the sparse
+  /// Laplacian cache directly at compile time, never mutating anything.
+  friend class InferenceEngine;
   RihgcnModel(const HeterogeneousGraphs& graphs, std::size_t num_nodes,
               std::size_t num_features, const RihgcnConfig& config);
 

@@ -138,6 +138,9 @@ struct HealthReport {
   /// Forecasts served by the fallback model (primary threw or went
   /// non-finite).
   std::size_t fallback_forecasts = 0;
+  /// Forecasts answered from the memo cache (no ingest since the last
+  /// model run — same window, same answer).
+  std::size_t memoized_forecasts = 0;
   /// Individual output entries scrubbed to the historical mean because even
   /// the fallback path left them non-finite.
   std::size_t scrubbed_outputs = 0;

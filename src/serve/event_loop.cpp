@@ -1,0 +1,102 @@
+#include "serve/event_loop.hpp"
+
+#include <stdexcept>
+
+namespace rihgcn::serve {
+
+EventLoop::~EventLoop() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) {
+    throw std::logic_error("EventLoop::start: loop thread already running");
+  }
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  running_ = true;
+  while (true) {
+    if (drain_one(lock)) continue;
+    if (stop_requested_) break;
+    if (timers_.empty()) {
+      cv_.wait(lock, [this] {
+        return stop_requested_ || !ready_.empty() || !timers_.empty();
+      });
+    } else {
+      cv_.wait_until(lock, timers_.begin()->first.first);
+    }
+  }
+  running_ = false;
+}
+
+bool EventLoop::drain_one(std::unique_lock<std::mutex>& lock) {
+  // Posts drain ahead of timers: an already-ready handler should never wait
+  // behind a deadline that just came due.
+  Handler h;
+  if (!ready_.empty()) {
+    h = std::move(ready_.front());
+    ready_.pop_front();
+  } else if (!timers_.empty() &&
+             timers_.begin()->first.first <= Clock::now()) {
+    auto it = timers_.begin();
+    h = std::move(it->second);
+    timers_.erase(it);
+  } else {
+    return false;
+  }
+  lock.unlock();
+  h();
+  lock.lock();
+  return true;
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void EventLoop::post(Handler h) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.push_back(std::move(h));
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t EventLoop::add_time_handler(Clock::time_point when, Handler h) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    timers_.emplace(std::make_pair(when, id), std::move(h));
+  }
+  cv_.notify_all();
+  return id;
+}
+
+bool EventLoop::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->first.second == id) {
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EventLoop::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+}  // namespace rihgcn::serve

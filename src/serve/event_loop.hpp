@@ -1,0 +1,78 @@
+// Single-threaded event loop with a timer queue (DESIGN.md §14).
+//
+// The serving core schedules everything — admission-queue flushes, delayed
+// micro-batch timers, snapshot publishes — onto one loop thread, so all
+// server state is owned by a single thread and the only cross-thread
+// primitives are the loop's own mutex and the response promises. The design
+// is the classic add_time_handler idiom: a FIFO of ready handlers plus an
+// ordered multimap of (deadline, id) timers; run() pops ready work, fires
+// due timers, and sleeps on a condition variable until the next deadline or
+// a new post().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace rihgcn::serve {
+
+class EventLoop {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Handler = std::function<void()>;
+
+  EventLoop() = default;
+  /// Stops and joins the loop thread if still running.
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawn a background thread running run(). At most one loop thread.
+  void start();
+  /// Process handlers until stop(); callable directly for same-thread use.
+  void run();
+  /// Ask the loop to exit after the handler in flight; joins nothing —
+  /// the destructor (or a caller holding the thread) joins.
+  void stop();
+
+  /// Enqueue an immediate handler (FIFO order among posts).
+  void post(Handler h);
+
+  /// Schedule `h` at `when`. Timers fire in (when, id) order — two timers
+  /// with the same deadline fire in registration order. Returns an id for
+  /// cancel(). Callable from any thread, including from inside a handler.
+  std::uint64_t add_time_handler(Clock::time_point when, Handler h);
+  std::uint64_t add_time_handler_after(std::chrono::microseconds delay,
+                                       Handler h) {
+    return add_time_handler(Clock::now() + delay, std::move(h));
+  }
+
+  /// Drop a not-yet-fired timer. Returns false if it already fired (or the
+  /// id is unknown).
+  bool cancel(std::uint64_t id);
+
+  /// True while run() is executing (any thread).
+  [[nodiscard]] bool running() const;
+
+ private:
+  /// Pop-and-run one ready handler or one due timer. Returns false when
+  /// there was nothing due and the loop should sleep.
+  bool drain_one(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Handler> ready_;
+  std::map<std::pair<Clock::time_point, std::uint64_t>, Handler> timers_;
+  std::uint64_t next_id_ = 1;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rihgcn::serve

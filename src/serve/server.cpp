@@ -1,0 +1,259 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rihgcn::serve {
+
+ForecastServer::ForecastServer(std::shared_ptr<core::InferenceEngine> engine,
+                               const data::ZScoreNormalizer& normalizer,
+                               ServeConfig cfg)
+    : cfg_(cfg), normalizer_(normalizer) {
+  if (engine == nullptr) {
+    throw std::invalid_argument("ForecastServer: null engine");
+  }
+  n_ = engine->num_nodes();
+  f_ = engine->num_features();
+  lookback_ = engine->lookback();
+  horizon_ = engine->horizon();
+  steps_per_day_ = engine->steps_per_day();
+  cfg_.max_batch = std::clamp<std::size_t>(cfg_.max_batch, 1,
+                                           engine->max_batch());
+  auto snap = std::make_shared<Snapshot>();
+  snap->ws = engine->make_workspace();
+  snap->engine = std::move(engine);
+  snapshot_ = std::move(snap);  // loop not running yet — plain write is safe
+  loop_.start();
+}
+
+ForecastServer::~ForecastServer() {
+  // Serve whatever is still queued, then let the loop drain and exit. The
+  // EventLoop member is declared last, so it joins before any server state
+  // the final flush touches is destroyed.
+  loop_.post([this] { flush(); });
+  loop_.stop();
+}
+
+std::size_t ForecastServer::add_stream(std::size_t start_slot) {
+  auto done = std::make_shared<std::promise<std::size_t>>();
+  std::future<std::size_t> id = done->get_future();
+  loop_.post([this, start_slot, done] {
+    Stream s;
+    s.start_slot = start_slot % steps_per_day_;
+    streams_.push_back(std::move(s));
+    num_streams_.store(streams_.size(), std::memory_order_release);
+    done->set_value(streams_.size() - 1);
+  });
+  return id.get();
+}
+
+void ForecastServer::ingest(std::size_t stream, const Matrix& values,
+                            const Matrix& mask) {
+  if (stream >= num_streams_.load(std::memory_order_acquire)) {
+    throw std::invalid_argument("ForecastServer::ingest: unknown stream");
+  }
+  if (values.rows() != n_ || values.cols() != f_ ||
+      !values.same_shape(mask)) {
+    throw ShapeError("ForecastServer::ingest: shape mismatch");
+  }
+  // Sanitize + normalize on the CLIENT thread (a pure function of the
+  // reading and the frozen normalizer) so many feeds prepare their own
+  // input in parallel; only the buffer append runs on the loop.
+  Matrix normalized(n_, f_);
+  Matrix clean_mask(n_, f_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t c = 0; c < f_; ++c) {
+      const double m = mask(i, c);
+      bool observed = std::isfinite(m) && m > 0.5;
+      if (observed && !std::isfinite(values(i, c))) observed = false;
+      double z = 0.0;
+      if (observed) {
+        z = normalizer_.normalize_value(values(i, c), c);
+        if (!std::isfinite(z)) {  // degenerate normalizer stats
+          observed = false;
+          z = 0.0;
+        }
+      }
+      clean_mask(i, c) = observed ? 1.0 : 0.0;
+      normalized(i, c) = z;
+    }
+  }
+  auto vp = std::make_shared<Matrix>(std::move(normalized));
+  auto mp = std::make_shared<Matrix>(std::move(clean_mask));
+  loop_.post([this, stream, vp, mp] {
+    Stream& s = streams_[stream];
+    s.values.push_back(std::move(*vp));
+    s.masks.push_back(std::move(*mp));
+    if (s.values.size() > lookback_) {
+      s.values.pop_front();
+      s.masks.pop_front();
+    }
+    ++s.seen;
+    ++s.version;  // never coalesce across an ingest
+  });
+}
+
+void ForecastServer::ingest_gap(std::size_t stream) {
+  ingest(stream, Matrix(n_, f_), Matrix(n_, f_));
+}
+
+std::future<Matrix> ForecastServer::forecast_async(std::size_t stream) {
+  if (stream >= num_streams_.load(std::memory_order_acquire)) {
+    throw std::invalid_argument(
+        "ForecastServer::forecast_async: unknown stream");
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto promise = std::make_shared<std::promise<Matrix>>();
+  std::future<Matrix> fut = promise->get_future();
+  loop_.post([this, stream, promise] {
+    enqueue_request(stream, std::move(*promise));
+  });
+  return fut;
+}
+
+void ForecastServer::enqueue_request(std::size_t stream,
+                                     std::promise<Matrix> promise) {
+  const Stream& s = streams_[stream];
+  if (s.seen == 0) {
+    promise.set_exception(std::make_exception_ptr(
+        std::logic_error("ForecastServer: no readings pushed yet")));
+    return;
+  }
+  // Coalesce: an identical query (same stream, no ingest in between) rides
+  // the already-queued window.
+  for (Pending& p : pending_) {
+    if (p.stream == stream && p.version == s.version) {
+      p.waiters.push_back(std::move(promise));
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  Pending p;
+  p.stream = stream;
+  p.version = s.version;
+  p.window = make_window(s);
+  p.waiters.push_back(std::move(promise));
+  pending_.push_back(std::move(p));
+  if (pending_.size() >= cfg_.max_batch) {
+    flush();
+  } else if (pending_.size() == 1) {
+    flush_timer_ = loop_.add_time_handler_after(
+        std::chrono::microseconds(cfg_.max_delay_us), [this] {
+          flush_timer_ = 0;
+          flush();
+        });
+  }
+}
+
+data::Window ForecastServer::make_window(const Stream& s) const {
+  data::Window w;
+  // Warm-up: left-pad with fully-missing steps (the imputation machinery's
+  // job), exactly like OnlineForecaster::make_window.
+  const std::size_t pad = lookback_ - s.values.size();
+  w.slot = (s.start_slot + s.seen - s.values.size() +
+            steps_per_day_ * lookback_ - pad) %
+           steps_per_day_;
+  w.start = 0;
+  for (std::size_t k = 0; k < pad; ++k) {
+    w.x_obs.emplace_back(n_, f_);
+    w.x_mask.emplace_back(n_, f_);
+    w.x_truth.emplace_back(n_, f_);
+  }
+  for (std::size_t k = 0; k < s.values.size(); ++k) {
+    w.x_obs.push_back(s.values[k]);
+    w.x_mask.push_back(s.masks[k]);
+    w.x_truth.push_back(s.values[k]);
+  }
+  for (std::size_t k = 0; k < horizon_; ++k) {
+    w.y.emplace_back(n_, 1);
+    w.y_mask.emplace_back(n_, 1);
+  }
+  return w;
+}
+
+void ForecastServer::flush() {
+  if (pending_.empty()) return;
+  if (flush_timer_ != 0) {
+    loop_.cancel(flush_timer_);
+    flush_timer_ = 0;
+  }
+  // The whole flush runs against ONE snapshot: a publish() racing us posts
+  // its swap behind this closure, so this batch finishes on the engine it
+  // started on and the swap lands before the next flush.
+  const std::shared_ptr<Snapshot> snap = snapshot_;
+  const std::size_t chunk = snap->engine->max_batch();
+  for (std::size_t begin = 0; begin < pending_.size(); begin += chunk) {
+    const std::size_t count = std::min(chunk, pending_.size() - begin);
+    batch_ptrs_.clear();
+    for (std::size_t b = 0; b < count; ++b) {
+      batch_ptrs_.push_back(&pending_[begin + b].window);
+    }
+    try {
+      const FMatrix& out =
+          snap->engine->predict_batch(batch_ptrs_.data(), count, snap->ws);
+      engine_calls_.fetch_add(1, std::memory_order_relaxed);
+      batched_windows_.fetch_add(count, std::memory_order_relaxed);
+      for (std::size_t b = 0; b < count; ++b) {
+        Matrix pred(n_, horizon_);
+        for (std::size_t i = 0; i < n_; ++i) {
+          for (std::size_t h = 0; h < horizon_; ++h) {
+            pred(i, h) = normalizer_.denormalize(
+                static_cast<double>(out(b * n_ + i, h)), 0);
+          }
+        }
+        // Enqueue order across windows, attach order within one: the
+        // deterministic-ordering contract of the class comment.
+        for (std::promise<Matrix>& waiter : pending_[begin + b].waiters) {
+          // Count BEFORE fulfilling: a client that wakes on the future must
+          // see its own response in stats().
+          responses_.fetch_add(1, std::memory_order_relaxed);
+          waiter.set_value(pred);
+        }
+      }
+    } catch (...) {
+      for (std::size_t b = 0; b < count; ++b) {
+        for (std::promise<Matrix>& waiter : pending_[begin + b].waiters) {
+          waiter.set_exception(std::current_exception());
+        }
+      }
+    }
+  }
+  pending_.clear();
+}
+
+void ForecastServer::publish(std::shared_ptr<core::InferenceEngine> engine) {
+  if (engine == nullptr) {
+    throw std::invalid_argument("ForecastServer::publish: null engine");
+  }
+  if (engine->num_nodes() != n_ || engine->num_features() != f_ ||
+      engine->lookback() != lookback_ || engine->horizon() != horizon_ ||
+      engine->steps_per_day() != steps_per_day_) {
+    throw std::invalid_argument(
+        "ForecastServer::publish: engine dimensions changed");
+  }
+  // Build the new snapshot (workspace allocation included) on the CALLER's
+  // thread; the loop only retargets one shared_ptr, so serving never stalls
+  // on a publish however large the engine is.
+  auto snap = std::make_shared<Snapshot>();
+  snap->ws = engine->make_workspace();
+  snap->engine = std::move(engine);
+  loop_.post([this, snap = std::move(snap)]() mutable {
+    snapshot_ = std::move(snap);
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+ServerStats ForecastServer::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.engine_calls = engine_calls_.load(std::memory_order_relaxed);
+  s.batched_windows = batched_windows_.load(std::memory_order_relaxed);
+  s.coalesced_requests = coalesced_.load(std::memory_order_relaxed);
+  s.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rihgcn::serve

@@ -1,0 +1,169 @@
+// ForecastServer — the online serving front end (DESIGN.md §14).
+//
+// OnlineForecaster (src/core/online.hpp) wraps ONE stream around the f64
+// tape model; ForecastServer is the production path: many streams, many
+// concurrent clients, one compiled core::InferenceEngine. Three mechanisms
+// carry the load:
+//
+//   * micro-batching — forecast requests land in an admission queue on the
+//     event-loop thread and are flushed through ONE predict_batch call when
+//     the queue holds `max_batch` distinct windows or the oldest request has
+//     waited `max_delay_us`, whichever comes first;
+//   * coalescing — concurrent requests for the same (stream, ingest
+//     version) share one engine invocation and one window slot in the
+//     batch: later arrivals just attach to the pending entry's waiter list;
+//   * snapshot swap — the engine sits behind a loop-thread-owned
+//     shared_ptr<Snapshot>; publish() validates a freshly compiled engine on
+//     the caller's thread (typically a background retrain loop) and posts
+//     the pointer swap to the loop, so the next flush picks it up. Serving
+//     never pauses — publish is just an enqueue — and in-flight batches
+//     finish on the snapshot they started with. (An atomic<shared_ptr> would
+//     work too, but libstdc++'s _Sp_atomic hides its spinlock bit from TSan;
+//     routing the swap through the loop keeps the single-writer discipline
+//     uniform AND sanitizer-provable.)
+//
+// All mutable server state (stream buffers, the admission queue, snapshot
+// workspaces) is owned by the single EventLoop thread; client threads only
+// normalize inputs, post closures and wait on futures. That single-writer
+// discipline is what the TSan-covered swap-under-load test
+// (ServeSnapshot.SwapUnderLoad) locks in.
+//
+// Responses are deterministic: windows are materialized from the stream
+// buffer at enqueue time (an ingest racing a forecast affects only requests
+// enqueued after it), and promises are fulfilled in enqueue order, waiters
+// in attach order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "data/dataset.hpp"
+#include "data/windows.hpp"
+#include "serve/event_loop.hpp"
+
+namespace rihgcn::serve {
+
+struct ServeConfig {
+  /// Flush the admission queue at this many distinct windows (clamped to
+  /// the engine's max_batch at flush time).
+  std::size_t max_batch = 8;
+  /// ... or when the oldest queued request has waited this long.
+  std::uint64_t max_delay_us = 500;
+};
+
+/// Monotonic serving counters (all lifetime totals).
+struct ServerStats {
+  std::size_t requests = 0;            ///< forecast futures handed out
+  std::size_t responses = 0;           ///< futures fulfilled with a value
+  std::size_t engine_calls = 0;        ///< predict_batch invocations
+  std::size_t batched_windows = 0;     ///< sum of batch sizes over calls
+  std::size_t coalesced_requests = 0;  ///< requests that joined a pending window
+  std::size_t snapshot_swaps = 0;      ///< published engines applied by the loop
+};
+
+class ForecastServer {
+ public:
+  /// Starts the loop thread. `engine` is the initial snapshot; `normalizer`
+  /// is copied (the server converts original-unit readings to the model's
+  /// normalized space and back).
+  ForecastServer(std::shared_ptr<core::InferenceEngine> engine,
+                 const data::ZScoreNormalizer& normalizer, ServeConfig cfg);
+  /// Fails all still-queued requests with broken promises after a final
+  /// flush, then joins the loop thread.
+  ~ForecastServer();
+  ForecastServer(const ForecastServer&) = delete;
+  ForecastServer& operator=(const ForecastServer&) = delete;
+
+  /// Register a sensor stream; `start_slot` anchors its time-of-day clock.
+  /// Returns the stream id used by ingest/forecast.
+  std::size_t add_stream(std::size_t start_slot = 0);
+
+  /// Ingest one reading (ORIGINAL units, num_nodes x num_features values +
+  /// mask). Sanitizes like OnlineForecaster: non-finite values and
+  /// malformed mask entries are demoted to missing. Bumps the stream's
+  /// ingest version, so it never coalesces with earlier forecasts.
+  void ingest(std::size_t stream, const Matrix& values, const Matrix& mask);
+  /// Ingest a fully-missing timestep (feed gap).
+  void ingest_gap(std::size_t stream);
+
+  /// Queue a forecast of the stream's next `horizon` target-feature steps
+  /// in ORIGINAL units (num_nodes x horizon). The future carries
+  /// std::logic_error if the stream has no readings yet, or whatever the
+  /// engine threw.
+  [[nodiscard]] std::future<Matrix> forecast_async(std::size_t stream);
+  /// Blocking convenience wrapper.
+  [[nodiscard]] Matrix forecast(std::size_t stream) {
+    return forecast_async(stream).get();
+  }
+
+  /// Swap in a retrained engine (any thread, never blocks serving — the
+  /// pointer swap is posted to the loop and takes effect before the next
+  /// flush). Throws std::invalid_argument if its dimensions disagree with
+  /// the server's.
+  void publish(std::shared_ptr<core::InferenceEngine> engine);
+
+  [[nodiscard]] ServerStats stats() const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_features() const noexcept { return f_; }
+  [[nodiscard]] std::size_t horizon() const noexcept { return horizon_; }
+
+ private:
+  /// An engine plus its private scratch. The workspace is touched only by
+  /// the loop thread, which is what makes the mutable member safe here.
+  struct Snapshot {
+    std::shared_ptr<core::InferenceEngine> engine;
+    core::InferenceEngine::Workspace ws;
+  };
+  /// Per-stream rolling buffer of normalized readings (loop thread only).
+  struct Stream {
+    std::size_t start_slot = 0;
+    std::size_t seen = 0;
+    std::uint64_t version = 0;  ///< bumped per ingest; the coalescing key
+    std::deque<Matrix> values;  ///< normalized, observed-masked
+    std::deque<Matrix> masks;
+  };
+  /// One admission-queue entry: a materialized window and its waiters.
+  struct Pending {
+    std::size_t stream = 0;
+    std::uint64_t version = 0;
+    data::Window window;
+    std::vector<std::promise<Matrix>> waiters;
+  };
+
+  // Loop-thread internals.
+  void enqueue_request(std::size_t stream, std::promise<Matrix> promise);
+  void flush();
+  [[nodiscard]] data::Window make_window(const Stream& s) const;
+
+  // Immutable after construction.
+  std::size_t n_ = 0, f_ = 0;
+  std::size_t lookback_ = 0, horizon_ = 0, steps_per_day_ = 0;
+  ServeConfig cfg_;
+  data::ZScoreNormalizer normalizer_;
+
+  // Loop-thread-owned state.
+  std::shared_ptr<Snapshot> snapshot_;  ///< swapped only via posted closures
+  std::deque<Stream> streams_;
+  std::vector<Pending> pending_;
+  std::vector<const data::Window*> batch_ptrs_;  ///< reused flush scratch
+  std::uint64_t flush_timer_ = 0;                ///< 0 = not armed
+
+  std::atomic<std::size_t> num_streams_{0};  ///< for client-side validation
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> responses_{0};
+  std::atomic<std::size_t> engine_calls_{0};
+  std::atomic<std::size_t> batched_windows_{0};
+  std::atomic<std::size_t> coalesced_{0};
+  std::atomic<std::size_t> swaps_{0};
+
+  EventLoop loop_;  ///< last member: joins before the state above dies
+};
+
+}  // namespace rihgcn::serve

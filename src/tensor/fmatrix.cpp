@@ -38,6 +38,33 @@ FCsrMatrix FCsrMatrix::from(const CsrMatrix& a) {
   return out;
 }
 
+FCsrMatrix FCsrMatrix::block_diagonal(const FCsrMatrix& a, std::size_t copies) {
+  if (copies == 0) {
+    throw ShapeError("FCsrMatrix::block_diagonal: zero copies");
+  }
+  FCsrMatrix out;
+  out.rows_ = a.rows_ * copies;
+  out.cols_ = a.cols_ * copies;
+  const std::size_t nnz = a.vals_.size();
+  out.row_ptr_.resize(out.rows_ + 1);
+  out.col_idx_.resize(nnz * copies);
+  out.vals_.resize(nnz * copies);
+  out.row_ptr_[0] = 0;
+  for (std::size_t b = 0; b < copies; ++b) {
+    const std::size_t row0 = b * a.rows_;
+    const std::size_t col0 = b * a.cols_;
+    const std::size_t nz0 = b * nnz;
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      out.row_ptr_[row0 + i + 1] = nz0 + a.row_ptr_[i + 1];
+    }
+    for (std::size_t e = 0; e < nnz; ++e) {
+      out.col_idx_[nz0 + e] = col0 + a.col_idx_[e];
+    }
+    std::copy(a.vals_.begin(), a.vals_.end(), out.vals_.begin() + nz0);
+  }
+  return out;
+}
+
 void fmatmul_accumulate(const FMatrix& a, const FMatrix& b, FMatrix& out) {
   if (a.cols() != b.rows() || out.rows() != a.rows() ||
       out.cols() != b.cols()) {

@@ -55,10 +55,30 @@ class FCsrMatrix {
  public:
   FCsrMatrix() = default;
   [[nodiscard]] static FCsrMatrix from(const CsrMatrix& a);
+  /// Block-diagonal replication: `copies` copies of `a` along the diagonal
+  /// ((copies·rows) x (copies·cols)). Built once per compiled inference plan
+  /// so a batched SpMM over B row-stacked windows is a single kernel call;
+  /// because block b's rows only reference block b's columns, the row prefix
+  /// [0, b·rows) of the full matrix serves any batch size b <= copies.
+  [[nodiscard]] static FCsrMatrix block_diagonal(const FCsrMatrix& a,
+                                                 std::size_t copies);
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
   [[nodiscard]] std::size_t nnz() const noexcept { return vals_.size(); }
+
+  // Raw CSR views for callers driving the simd::Kernels table directly
+  // (the inference engine's batched SpMM operates on a row prefix, which
+  // fspmm_into's whole-matrix contract cannot express).
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<float>& values() const noexcept {
+    return vals_;
+  }
 
   friend void fspmm_into(const FCsrMatrix& a, const FMatrix& b, FMatrix& out);
 

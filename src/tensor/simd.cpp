@@ -8,6 +8,7 @@
 #include "tensor/simd.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
@@ -176,10 +177,53 @@ void s_sspmm_rows(const std::size_t* row_ptr, const std::size_t* col_idx,
   }
 }
 
+void s_smatmul_panel(const float* ap, const float* bp, float* cp,
+                     std::size_t rows, std::size_t k, std::size_t m) {
+  s_smatmul_rows(ap, bp, cp, k, m, 0, rows);
+}
+
+inline float s_sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void s_lstm_step(const float* gates, float* c, float* h, std::size_t rows,
+                 std::size_t hdim) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* g = gates + r * 4 * hdim;
+    float* cr = c + r * hdim;
+    float* hr = h + r * hdim;
+    for (std::size_t j = 0; j < hdim; ++j) {
+      const float iv = s_sigmoidf(g[j]);
+      const float fv = s_sigmoidf(g[hdim + j]);
+      const float ov = s_sigmoidf(g[2 * hdim + j]);
+      const float gv = std::tanh(g[3 * hdim + j]);
+      const float cc = fv * cr[j] + iv * gv;
+      cr[j] = cc;
+      hr[j] = ov * std::tanh(cc);
+    }
+  }
+}
+
+void s_gru_step(const float* gx, const float* gh, const float* bias, float* h,
+                std::size_t rows, std::size_t hdim) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* x = gx + r * 3 * hdim;
+    const float* hh = gh + r * 3 * hdim;
+    float* hr = h + r * hdim;
+    for (std::size_t j = 0; j < hdim; ++j) {
+      const float rg = s_sigmoidf(x[j] + hh[j] + bias[j]);
+      const float zg =
+          s_sigmoidf(x[hdim + j] + hh[hdim + j] + bias[hdim + j]);
+      const float ng = std::tanh(x[2 * hdim + j] + rg * hh[2 * hdim + j] +
+                                 bias[2 * hdim + j]);
+      hr[j] = ng - zg * ng + zg * hr[j];
+    }
+  }
+}
+
 constexpr Kernels kScalarKernels = {
     s_add,   s_sub,      s_mul,         s_scale,  s_add_into,
     s_sub_into, s_mul_into, s_axpy,     s_fmadd,  s_mul2_add,
     s_matmul_rows, s_spmm_rows, s_saxpy, s_smatmul_rows, s_sspmm_rows,
+    s_smatmul_panel, s_lstm_step, s_gru_step,
 };
 
 // ---- dispatch --------------------------------------------------------------

@@ -86,6 +86,26 @@ struct Kernels {
   void (*sspmm_rows)(const std::size_t* row_ptr, const std::size_t* col_idx,
                      const float* vals, const float* b, float* c,
                      std::size_t m, std::size_t i0, std::size_t i1);
+  /// Panel GEMM C(rows x m) += A(rows x k)·B(k x m) for SHORT panels (rows
+  /// ≲ 8) against a large B: B is streamed once per 4-row group instead of
+  /// once per row, which is what the serving engine's transposed Laplacian
+  /// apply (outᵀ = xᵀ·L̃ᵀ, DESIGN.md §14) is bound by. Same ascending-k
+  /// per-element FMA order as smatmul_rows.
+  void (*smatmul_panel)(const float* a, const float* b, float* c,
+                        std::size_t rows, std::size_t k, std::size_t m);
+  /// Fused LSTM gate row math: per row r of `gates` ((rows x 4h), layout
+  /// [i|f|o|g], biases already added), updates c and h ((rows x h)):
+  ///   c = σ(f)⊙c + σ(i)⊙tanh(g);  h = σ(o)⊙tanh(c)
+  /// The AVX2 table may evaluate σ/tanh through vectorized libm (few-ULP
+  /// vs scalar libm) — float-path tolerance only, like FMA use.
+  void (*slstm_step)(const float* gates, float* c, float* h, std::size_t rows,
+                     std::size_t hdim);
+  /// Fused GRU gate row math: gx/gh ((rows x 3h), layout [r|z|n]) are the
+  /// input-side and hidden-side pre-activations, bias is the shared 3h row:
+  ///   r = σ(gx_r+gh_r+b_r); z = σ(gx_z+gh_z+b_z);
+  ///   n = tanh(gx_n + r⊙gh_n + b_n);  h = n − z⊙n + z⊙h
+  void (*sgru_step)(const float* gx, const float* gh, const float* bias,
+                    float* h, std::size_t rows, std::size_t hdim);
 };
 
 /// True if this build + CPU can execute `isa`.

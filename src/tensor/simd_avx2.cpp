@@ -234,23 +234,100 @@ void v_saxpy(float* y, float a, const float* x, std::size_t n) {
   for (; i < n; ++i) y[i] = std::fmaf(a, x[i], y[i]);
 }
 
+// Register-blocked i-j-k: each 64/32/8-column tile of an output row is held
+// in YMM accumulators across the whole k loop and stored once, instead of
+// round-tripping C through memory per (i, k) — that store-forward chain is
+// what caps the naive i-k-j form near one FMA per 8–9 cycles. Every output
+// element still receives its terms in ascending-k FMA order, so the tiling
+// is bitwise-neutral (and the a==0 skip only elides terms that would leave
+// an FMA accumulator unchanged).
 void v_smatmul_rows(const float* ap, const float* bp, float* cp, std::size_t k,
                     std::size_t m, std::size_t i0, std::size_t i1) {
   for (std::size_t i = i0; i < i1; ++i) {
     const float* arow = ap + i * k;
     float* crow = cp + i * m;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = bp + kk * m;
-      const __m256 va = _mm256_set1_ps(av);
-      std::size_t j = 0;
-      for (; j + 8 <= m; j += 8) {
-        _mm256_storeu_ps(
-            crow + j, _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + j),
-                                      _mm256_loadu_ps(crow + j)));
+    std::size_t j = 0;
+    for (; j + 64 <= m; j += 64) {  // 8 accumulators: hides FMA latency
+      __m256 acc0 = _mm256_loadu_ps(crow + j);
+      __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+      __m256 acc2 = _mm256_loadu_ps(crow + j + 16);
+      __m256 acc3 = _mm256_loadu_ps(crow + j + 24);
+      __m256 acc4 = _mm256_loadu_ps(crow + j + 32);
+      __m256 acc5 = _mm256_loadu_ps(crow + j + 40);
+      __m256 acc6 = _mm256_loadu_ps(crow + j + 48);
+      __m256 acc7 = _mm256_loadu_ps(crow + j + 56);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const __m256 va = _mm256_set1_ps(av);
+        const float* brow = bp + kk * m + j;
+        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow), acc0);
+        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 8), acc1);
+        acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 16), acc2);
+        acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 24), acc3);
+        acc4 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 32), acc4);
+        acc5 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 40), acc5);
+        acc6 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 48), acc6);
+        acc7 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 56), acc7);
       }
-      for (; j < m; ++j) crow[j] = std::fmaf(av, brow[j], crow[j]);
+      _mm256_storeu_ps(crow + j, acc0);
+      _mm256_storeu_ps(crow + j + 8, acc1);
+      _mm256_storeu_ps(crow + j + 16, acc2);
+      _mm256_storeu_ps(crow + j + 24, acc3);
+      _mm256_storeu_ps(crow + j + 32, acc4);
+      _mm256_storeu_ps(crow + j + 40, acc5);
+      _mm256_storeu_ps(crow + j + 48, acc6);
+      _mm256_storeu_ps(crow + j + 56, acc7);
+    }
+    for (; j + 32 <= m; j += 32) {
+      __m256 acc0 = _mm256_loadu_ps(crow + j);
+      __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+      __m256 acc2 = _mm256_loadu_ps(crow + j + 16);
+      __m256 acc3 = _mm256_loadu_ps(crow + j + 24);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const __m256 va = _mm256_set1_ps(av);
+        const float* brow = bp + kk * m + j;
+        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow), acc0);
+        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 8), acc1);
+        acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 16), acc2);
+        acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + 24), acc3);
+      }
+      _mm256_storeu_ps(crow + j, acc0);
+      _mm256_storeu_ps(crow + j + 8, acc1);
+      _mm256_storeu_ps(crow + j + 16, acc2);
+      _mm256_storeu_ps(crow + j + 24, acc3);
+    }
+    for (; j + 8 <= m; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                              _mm256_loadu_ps(bp + kk * m + j), acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    if (j + 4 <= m) {  // 4-wide tail: f32 feature panels are 4 columns
+      __m128 acc = _mm_loadu_ps(crow + j);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        acc = _mm_fmadd_ps(_mm_set1_ps(av), _mm_loadu_ps(bp + kk * m + j),
+                           acc);
+      }
+      _mm_storeu_ps(crow + j, acc);
+      j += 4;
+    }
+    for (; j < m; ++j) {
+      float acc = crow[j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        acc = std::fmaf(av, bp[kk * m + j], acc);
+      }
+      crow[j] = acc;
     }
   }
 }
@@ -271,6 +348,17 @@ void v_sspmm_rows(const std::size_t* row_ptr, const std::size_t* col_idx,
       }
       _mm256_storeu_ps(crow + j, acc);
     }
+    // 4-wide tail (see v_smatmul_rows): one 128-bit pass instead of four
+    // scalar re-scans of the row's nonzeros. Bitwise-neutral per element.
+    if (j + 4 <= m) {
+      __m128 acc = _mm_loadu_ps(crow + j);
+      for (std::size_t p = p0; p < p1; ++p) {
+        acc = _mm_fmadd_ps(_mm_set1_ps(vals[p]),
+                           _mm_loadu_ps(b + col_idx[p] * m + j), acc);
+      }
+      _mm_storeu_ps(crow + j, acc);
+      j += 4;
+    }
     for (; j < m; ++j) {
       float acc = crow[j];
       for (std::size_t p = p0; p < p1; ++p) {
@@ -281,10 +369,176 @@ void v_sspmm_rows(const std::size_t* row_ptr, const std::size_t* col_idx,
   }
 }
 
+// Short-panel GEMM: R rows of A advance together through one j-tile so each
+// B row is loaded once per R-row group, not once per row — for an (8 x N)
+// panel against an (N x N) B that cuts B streaming 4–8x, which is what the
+// transposed Laplacian apply is bound by. Ascending-k FMA order per element
+// (no zero-skip: a zero A term contributes fma(0, b, acc) = acc).
+template <int R>
+void panel_rows(const float* ap, const float* bp, float* cp, std::size_t k,
+                std::size_t m) {
+  std::size_t j = 0;
+  for (; j + 16 <= m; j += 16) {
+    __m256 acc0[R], acc1[R];
+    for (int r = 0; r < R; ++r) {
+      acc0[r] = _mm256_loadu_ps(cp + r * m + j);
+      acc1[r] = _mm256_loadu_ps(cp + r * m + j + 8);
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = bp + kk * m + j;
+      const __m256 b0 = _mm256_loadu_ps(brow);
+      const __m256 b1 = _mm256_loadu_ps(brow + 8);
+      for (int r = 0; r < R; ++r) {
+        const __m256 va = _mm256_set1_ps(ap[r * k + kk]);
+        acc0[r] = _mm256_fmadd_ps(va, b0, acc0[r]);
+        acc1[r] = _mm256_fmadd_ps(va, b1, acc1[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      _mm256_storeu_ps(cp + r * m + j, acc0[r]);
+      _mm256_storeu_ps(cp + r * m + j + 8, acc1[r]);
+    }
+  }
+  for (; j + 8 <= m; j += 8) {
+    __m256 acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = _mm256_loadu_ps(cp + r * m + j);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const __m256 b0 = _mm256_loadu_ps(bp + kk * m + j);
+      for (int r = 0; r < R; ++r) {
+        acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(ap[r * k + kk]), b0, acc[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) _mm256_storeu_ps(cp + r * m + j, acc[r]);
+  }
+  if (j + 4 <= m) {
+    __m128 acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = _mm_loadu_ps(cp + r * m + j);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const __m128 b0 = _mm_loadu_ps(bp + kk * m + j);
+      for (int r = 0; r < R; ++r) {
+        acc[r] = _mm_fmadd_ps(_mm_set1_ps(ap[r * k + kk]), b0, acc[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) _mm_storeu_ps(cp + r * m + j, acc[r]);
+    j += 4;
+  }
+  for (; j < m; ++j) {
+    for (int r = 0; r < R; ++r) {
+      float acc = cp[r * m + j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc = std::fmaf(ap[r * k + kk], bp[kk * m + j], acc);
+      }
+      cp[r * m + j] = acc;
+    }
+  }
+}
+
+void v_smatmul_panel(const float* ap, const float* bp, float* cp,
+                     std::size_t rows, std::size_t k, std::size_t m) {
+  std::size_t r = 0;
+  for (; r + 4 <= rows; r += 4) panel_rows<4>(ap + r * k, bp, cp + r * m, k, m);
+  if (r + 2 <= rows) {
+    panel_rows<2>(ap + r * k, bp, cp + r * m, k, m);
+    r += 2;
+  }
+  if (r < rows) panel_rows<1>(ap + r * k, bp, cp + r * m, k, m);
+}
+
+// ---- fused recurrent-cell row math -----------------------------------------
+// σ and tanh go through glibc's vectorized libm (few-ULP vs scalar libm)
+// when the build found it — a float-path (ULP-contract) liberty, like FMA.
+// Scalar tails and the no-libmvec fallback use the exact scalar-table math.
+
+inline float v_sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+#if defined(RIHGCN_HAVE_MVEC)
+extern "C" {
+__m256 _ZGVdN8v_expf(__m256);   // AVX2 vector expf (glibc libmvec)
+__m256 _ZGVdN8v_tanhf(__m256);  // AVX2 vector tanhf (glibc libmvec)
+}
+
+inline __m256 vec_sigmoid(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = _ZGVdN8v_expf(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+#endif
+
+void v_lstm_step(const float* gates, float* c, float* h, std::size_t rows,
+                 std::size_t hdim) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* g = gates + r * 4 * hdim;
+    float* cr = c + r * hdim;
+    float* hr = h + r * hdim;
+    std::size_t j = 0;
+#if defined(RIHGCN_HAVE_MVEC)
+    for (; j + 8 <= hdim; j += 8) {
+      const __m256 iv = vec_sigmoid(_mm256_loadu_ps(g + j));
+      const __m256 fv = vec_sigmoid(_mm256_loadu_ps(g + hdim + j));
+      const __m256 ov = vec_sigmoid(_mm256_loadu_ps(g + 2 * hdim + j));
+      const __m256 gv = _ZGVdN8v_tanhf(_mm256_loadu_ps(g + 3 * hdim + j));
+      const __m256 cc = _mm256_fmadd_ps(fv, _mm256_loadu_ps(cr + j),
+                                        _mm256_mul_ps(iv, gv));
+      _mm256_storeu_ps(cr + j, cc);
+      _mm256_storeu_ps(hr + j, _mm256_mul_ps(ov, _ZGVdN8v_tanhf(cc)));
+    }
+#endif
+    for (; j < hdim; ++j) {
+      const float iv = v_sigmoidf(g[j]);
+      const float fv = v_sigmoidf(g[hdim + j]);
+      const float ov = v_sigmoidf(g[2 * hdim + j]);
+      const float gv = std::tanh(g[3 * hdim + j]);
+      const float cc = fv * cr[j] + iv * gv;
+      cr[j] = cc;
+      hr[j] = ov * std::tanh(cc);
+    }
+  }
+}
+
+void v_gru_step(const float* gx, const float* gh, const float* bias, float* h,
+                std::size_t rows, std::size_t hdim) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* x = gx + r * 3 * hdim;
+    const float* hh = gh + r * 3 * hdim;
+    float* hr = h + r * hdim;
+    std::size_t j = 0;
+#if defined(RIHGCN_HAVE_MVEC)
+    for (; j + 8 <= hdim; j += 8) {
+      const __m256 b0 = _mm256_loadu_ps(bias + j);
+      const __m256 b1 = _mm256_loadu_ps(bias + hdim + j);
+      const __m256 b2 = _mm256_loadu_ps(bias + 2 * hdim + j);
+      const __m256 rg = vec_sigmoid(_mm256_add_ps(
+          _mm256_add_ps(_mm256_loadu_ps(x + j), _mm256_loadu_ps(hh + j)), b0));
+      const __m256 zg = vec_sigmoid(_mm256_add_ps(
+          _mm256_add_ps(_mm256_loadu_ps(x + hdim + j),
+                        _mm256_loadu_ps(hh + hdim + j)),
+          b1));
+      const __m256 ng = _ZGVdN8v_tanhf(_mm256_add_ps(
+          _mm256_fmadd_ps(rg, _mm256_loadu_ps(hh + 2 * hdim + j),
+                          _mm256_loadu_ps(x + 2 * hdim + j)),
+          b2));
+      const __m256 hv = _mm256_loadu_ps(hr + j);
+      // h = n − z⊙n + z⊙h
+      _mm256_storeu_ps(
+          hr + j,
+          _mm256_fmadd_ps(zg, hv, _mm256_sub_ps(ng, _mm256_mul_ps(zg, ng))));
+    }
+#endif
+    for (; j < hdim; ++j) {
+      const float rg = v_sigmoidf(x[j] + hh[j] + bias[j]);
+      const float zg = v_sigmoidf(x[hdim + j] + hh[hdim + j] + bias[hdim + j]);
+      const float ng = std::tanh(x[2 * hdim + j] + rg * hh[2 * hdim + j] +
+                                 bias[2 * hdim + j]);
+      hr[j] = ng - zg * ng + zg * hr[j];
+    }
+  }
+}
+
 constexpr Kernels kAvx2Kernels = {
     v_add,   v_sub,      v_mul,         v_scale,  v_add_into,
     v_sub_into, v_mul_into, v_axpy,     v_fmadd,  v_mul2_add,
     v_matmul_rows, v_spmm_rows, v_saxpy, v_smatmul_rows, v_sspmm_rows,
+    v_smatmul_panel, v_lstm_step, v_gru_step,
 };
 
 }  // namespace

@@ -772,5 +772,89 @@ TEST(OnlineRobust, HealthyStreamReportsNoSuspectsOrFallbacks) {
   EXPECT_TRUE(h.suspect_sensors.empty());
 }
 
+// ---- forecast memoization ----------------------------------------------------
+
+/// ConstModel that counts predict() calls, so tests can see cache hits.
+class CountingModel final : public core::ForecastModel {
+ public:
+  CountingModel(std::size_t horizon, double value)
+      : horizon_(horizon), value_(value) {}
+  [[nodiscard]] std::string name() const override { return "counting"; }
+  [[nodiscard]] std::vector<ad::Parameter*> parameters() override {
+    return {};
+  }
+  [[nodiscard]] ad::Var training_loss(ad::Tape& tape,
+                                      const data::Window&) override {
+    return tape.constant(Matrix(1, 1, 1.0));
+  }
+  [[nodiscard]] Matrix predict(const data::Window& w) override {
+    ++calls;
+    return Matrix(w.x_obs.front().rows(), horizon_, value_);
+  }
+  std::size_t calls = 0;
+
+ private:
+  std::size_t horizon_;
+  double value_;
+};
+
+TEST(OnlineMemo, RepeatForecastsHitCacheExactly) {
+  OnlineRig rig;
+  CountingModel model(3, 0.5);
+  core::OnlineForecaster online = rig.make(model);
+  online.push_reading(rig.ds.truth[0], rig.ds.mask[0]);
+  const Matrix first = online.forecast();
+  const Matrix second = online.forecast();
+  const Matrix third = online.forecast();
+  EXPECT_EQ(model.calls, 1u);  // one model run serves all three
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, third);
+  const core::HealthReport h = online.health();
+  EXPECT_EQ(h.model_forecasts, 1u);
+  EXPECT_EQ(h.memoized_forecasts, 2u);
+}
+
+TEST(OnlineMemo, IngestInvalidates) {
+  OnlineRig rig;
+  CountingModel model(3, 0.5);
+  core::OnlineForecaster online = rig.make(model);
+  online.push_reading(rig.ds.truth[0], rig.ds.mask[0]);
+  (void)online.forecast();
+  online.push_reading(rig.ds.truth[1], rig.ds.mask[1]);
+  (void)online.forecast();
+  EXPECT_EQ(model.calls, 2u);
+  online.push_gap();  // a gap is an ingest too
+  (void)online.forecast();
+  EXPECT_EQ(model.calls, 3u);
+  EXPECT_EQ(online.health().memoized_forecasts, 0u);
+}
+
+TEST(OnlineMemo, ConfigChangesInvalidate) {
+  OnlineRig rig;
+  CountingModel model(3, 0.5);
+  ConstModel fallback(3, 0.25);
+  core::OnlineForecaster online = rig.make(model);
+  online.push_reading(rig.ds.truth[0], rig.ds.mask[0]);
+  (void)online.forecast();
+  online.set_fallback(&fallback);  // the robust path may resolve differently
+  (void)online.forecast();
+  EXPECT_EQ(model.calls, 2u);
+  online.set_stuck_threshold(7);
+  (void)online.forecast();
+  EXPECT_EQ(model.calls, 3u);
+}
+
+TEST(OnlineMemo, ThrowingForecastIsNeverCached) {
+  OnlineRig rig;
+  ThrowingModel primary;
+  core::OnlineForecaster online = rig.make(primary);
+  online.push_reading(rig.ds.truth[0], rig.ds.mask[0]);
+  EXPECT_THROW((void)online.forecast(), std::runtime_error);
+  // The failure was not memoized: the next call reaches the model again
+  // (and throws again) instead of replaying a cached error or stale value.
+  EXPECT_THROW((void)online.forecast(), std::runtime_error);
+  EXPECT_EQ(online.health().memoized_forecasts, 0u);
+}
+
 }  // namespace
 }  // namespace rihgcn

@@ -1,0 +1,419 @@
+// Serving subsystem (DESIGN.md §14): EventLoop + ForecastServer.
+//
+//  * EventLoopTest.*   — FIFO posts, (deadline, id) timer ordering, cancel,
+//    reentrant scheduling from inside handlers.
+//  * ServeBatch.*      — micro-batching admission queue: flush at max_batch,
+//    flush at max_delay_us, per-request windows match OnlineForecaster-style
+//    single-stream forecasts.
+//  * ServeCoalesce.*   — concurrent queries for the same (stream, ingest
+//    version) share one engine invocation; an ingest in between splits them.
+//  * ServeSnapshot.*   — publish() swaps retrained weights under concurrent
+//    query load with zero dropped and zero non-finite responses. Runs under
+//    TSan via tools/run_tsan.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/hetero_graphs.hpp"
+#include "core/online.hpp"
+#include "core/rihgcn.hpp"
+#include "data/generators.hpp"
+#include "data/missing.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/server.hpp"
+#include "tensor/rng.hpp"
+
+namespace rihgcn {
+namespace {
+
+// ---- EventLoop -------------------------------------------------------------
+
+TEST(EventLoopTest, PostsRunFifo) {
+  serve::EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.post([&order, i] { order.push_back(i); });
+  }
+  loop.post([&loop] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineThenRegistrationOrder) {
+  serve::EventLoop loop;
+  std::vector<int> order;
+  const auto base = serve::EventLoop::Clock::now() +
+                    std::chrono::milliseconds(5);
+  // Registered out of deadline order; 1 and 2 share a deadline, so they
+  // must fire in registration order.
+  loop.add_time_handler(base + std::chrono::milliseconds(4),
+                        [&order] { order.push_back(3); });
+  loop.add_time_handler(base, [&order] { order.push_back(1); });
+  loop.add_time_handler(base, [&order] { order.push_back(2); });
+  loop.add_time_handler(base - std::chrono::milliseconds(3),
+                        [&order] { order.push_back(0); });
+  loop.add_time_handler(base + std::chrono::milliseconds(8),
+                        [&loop] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventLoopTest, CancelDropsPendingTimer) {
+  serve::EventLoop loop;
+  std::atomic<int> fired{0};
+  const auto id = loop.add_time_handler_after(std::chrono::microseconds(2000),
+                                              [&fired] { ++fired; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // already gone
+  loop.add_time_handler_after(std::chrono::microseconds(4000),
+                              [&loop] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(EventLoopTest, HandlersCanScheduleMoreWork) {
+  serve::EventLoop loop;
+  std::vector<int> order;
+  loop.post([&] {
+    order.push_back(0);
+    loop.add_time_handler_after(std::chrono::microseconds(500), [&] {
+      order.push_back(1);
+      loop.post([&] {
+        order.push_back(2);
+        loop.stop();
+      });
+    });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventLoopTest, StartRunsOnBackgroundThread) {
+  serve::EventLoop loop;
+  std::promise<void> ran;
+  loop.start();
+  loop.post([&ran] { ran.set_value(); });
+  ran.get_future().wait();
+  EXPECT_TRUE(loop.running());
+  loop.stop();
+}
+
+// ---- ForecastServer fixtures -----------------------------------------------
+
+struct ServeFixture {
+  data::TrafficDataset ds;
+  std::unique_ptr<core::HeterogeneousGraphs> graphs;
+  std::unique_ptr<core::RihgcnModel> model;
+  std::unique_ptr<data::ZScoreNormalizer> normalizer;
+};
+
+ServeFixture make_fixture(std::size_t seed = 11) {
+  ServeFixture s;
+  data::PemsLikeConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.num_days = 2;
+  cfg.steps_per_day = 48;
+  cfg.seed = seed;
+  s.ds = data::generate_pems_like(cfg);
+  Rng rng(5);
+  data::inject_mcar(s.ds, 0.3, rng);
+  const std::size_t train_end = s.ds.num_timesteps() * 7 / 10;
+  s.normalizer = std::make_unique<data::ZScoreNormalizer>(s.ds, train_end);
+  s.normalizer->normalize(s.ds);
+  core::HeteroGraphsConfig gcfg;
+  gcfg.num_temporal_graphs = 2;
+  gcfg.partition_slots = 24;
+  s.graphs = std::make_unique<core::HeterogeneousGraphs>(s.ds, train_end,
+                                                         gcfg, rng);
+  core::RihgcnConfig mc;
+  mc.lookback = 4;
+  mc.horizon = 3;
+  mc.gcn_dim = 4;
+  mc.lstm_dim = 4;
+  mc.cheb_order = 2;
+  s.model = std::make_unique<core::RihgcnModel>(*s.graphs, s.ds.num_nodes(),
+                                                s.ds.num_features(), mc);
+  return s;
+}
+
+/// One original-units reading (values, mask) taken from the dataset, but
+/// denormalized so the server's ingest normalization round-trips it.
+std::pair<Matrix, Matrix> reading_at(const ServeFixture& s, std::size_t t) {
+  Matrix values(s.ds.num_nodes(), s.ds.num_features());
+  Matrix mask(s.ds.num_nodes(), s.ds.num_features());
+  for (std::size_t i = 0; i < values.rows(); ++i) {
+    for (std::size_t f = 0; f < values.cols(); ++f) {
+      mask(i, f) = s.ds.mask[t](i, f);
+      values(i, f) =
+          s.normalizer->denormalize(s.ds.truth[t](i, f), f) * mask(i, f);
+    }
+  }
+  return {values, mask};
+}
+
+// ---- micro-batching --------------------------------------------------------
+
+TEST(ServeBatch, MatchesOnlineForecasterPerStream) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 200;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+
+  // Reference: the engine through OnlineForecaster's exact window logic.
+  core::InferenceEngine ref_engine(*s.model);
+  struct EngineAsModel : core::ForecastModel {
+    explicit EngineAsModel(core::InferenceEngine& e) : e_(e) {}
+    std::string name() const override { return "engine"; }
+    std::vector<ad::Parameter*> parameters() override { return {}; }
+    ad::Var training_loss(ad::Tape&, const data::Window&) override {
+      throw std::logic_error("inference only");
+    }
+    Matrix predict(const data::Window& w) override { return e_.predict(w); }
+    core::InferenceEngine& e_;
+  } ref_model(ref_engine);
+
+  const std::size_t num_streams = 3;
+  std::vector<std::size_t> ids;
+  std::vector<std::unique_ptr<core::OnlineForecaster>> refs;
+  for (std::size_t k = 0; k < num_streams; ++k) {
+    const std::size_t slot = 5 * k;
+    ids.push_back(server.add_stream(slot));
+    refs.push_back(std::make_unique<core::OnlineForecaster>(
+        ref_model, *s.normalizer, s.ds.num_nodes(), s.ds.num_features(),
+        engine->lookback(), engine->horizon(), engine->steps_per_day(),
+        slot));
+    refs.back()->set_stuck_threshold(0);
+  }
+  for (std::size_t t = 0; t < 6; ++t) {
+    for (std::size_t k = 0; k < num_streams; ++k) {
+      auto [values, mask] = reading_at(s, 10 * k + t);
+      server.ingest(ids[k], values, mask);
+      refs[k]->push_reading(values, mask);
+    }
+  }
+  // All three streams queried back-to-back: batched through shared engine
+  // invocations, each result equal to its single-stream reference.
+  std::vector<std::future<Matrix>> futs;
+  for (std::size_t k = 0; k < num_streams; ++k) {
+    futs.push_back(server.forecast_async(ids[k]));
+  }
+  for (std::size_t k = 0; k < num_streams; ++k) {
+    const Matrix got = futs[k].get();
+    const Matrix want = refs[k]->forecast();
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got.data()[i], want.data()[i]) << "stream " << k;
+    }
+    EXPECT_FALSE(got.has_non_finite());
+  }
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, num_streams);
+  EXPECT_EQ(st.responses, num_streams);
+  EXPECT_EQ(st.batched_windows, num_streams);
+}
+
+TEST(ServeBatch, FlushesAtMaxBatchWithoutWaitingForTimer) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 60'000'000;  // a timer-based flush would hang the test
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  std::vector<std::size_t> ids;
+  for (std::size_t k = 0; k < cfg.max_batch; ++k) {
+    ids.push_back(server.add_stream(k));
+    auto [values, mask] = reading_at(s, 3 * k);
+    server.ingest(ids[k], values, mask);
+  }
+  std::vector<std::future<Matrix>> futs;
+  for (std::size_t id : ids) futs.push_back(server.forecast_async(id));
+  for (auto& f : futs) {
+    EXPECT_FALSE(f.get().has_non_finite());
+  }
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.engine_calls, 1u);  // one shared invocation for all four
+  EXPECT_EQ(st.batched_windows, 4u);
+}
+
+TEST(ServeBatch, TimerFlushesPartialBatch) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 300;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  // One lone request can never reach max_batch; only the delay timer
+  // releases it.
+  Matrix got = server.forecast(id);
+  EXPECT_EQ(got.rows(), s.ds.num_nodes());
+  EXPECT_FALSE(got.has_non_finite());
+  EXPECT_EQ(server.stats().engine_calls, 1u);
+}
+
+TEST(ServeBatch, ErrorsSurfaceThroughFutures) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ForecastServer server(engine, *s.normalizer, serve::ServeConfig{});
+  EXPECT_THROW((void)server.forecast_async(7), std::invalid_argument);
+  const std::size_t id = server.add_stream();
+  // No readings yet: the failure rides the future, not the caller thread.
+  EXPECT_THROW((void)server.forecast(id), std::logic_error);
+  Matrix bad(1, 1);
+  EXPECT_THROW(server.ingest(id, bad, bad), ShapeError);
+}
+
+// ---- coalescing ------------------------------------------------------------
+
+TEST(ServeCoalesce, SameVersionQueriesShareOneWindow) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 2000;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 1);
+  server.ingest(id, values, mask);
+
+  std::vector<std::future<Matrix>> futs;
+  for (int k = 0; k < 5; ++k) futs.push_back(server.forecast_async(id));
+  std::vector<Matrix> results;
+  for (auto& f : futs) results.push_back(f.get());
+  for (std::size_t k = 1; k < results.size(); ++k) {
+    EXPECT_EQ(results[k], results[0]);
+  }
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, 5u);
+  EXPECT_EQ(st.responses, 5u);
+  EXPECT_EQ(st.engine_calls, 1u);
+  EXPECT_EQ(st.batched_windows, 1u);  // five requests, ONE window
+  EXPECT_EQ(st.coalesced_requests, 4u);
+}
+
+TEST(ServeCoalesce, IngestSplitsCoalescingGenerations) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 2000;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [v0, m0] = reading_at(s, 1);
+  server.ingest(id, v0, m0);
+  auto f1 = server.forecast_async(id);
+  auto f2 = server.forecast_async(id);
+  auto [v1, m1] = reading_at(s, 2);
+  server.ingest(id, v1, m1);  // bumps the version: no coalescing across it
+  auto f3 = server.forecast_async(id);
+  const Matrix r1 = f1.get();
+  const Matrix r2 = f2.get();
+  const Matrix r3 = f3.get();
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r3, r1);  // saw one more reading
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.coalesced_requests, 1u);
+  EXPECT_EQ(st.batched_windows, 2u);
+}
+
+// ---- snapshot swap under load ----------------------------------------------
+
+TEST(ServeSnapshot, PublishValidatesDimensions) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ForecastServer server(engine, *s.normalizer, serve::ServeConfig{});
+  core::RihgcnConfig mc;
+  mc.lookback = 4;
+  mc.horizon = 5;  // horizon mismatch
+  mc.gcn_dim = 4;
+  mc.lstm_dim = 4;
+  mc.cheb_order = 2;
+  core::RihgcnModel other(*s.graphs, s.ds.num_nodes(), s.ds.num_features(),
+                          mc);
+  EXPECT_THROW(
+      server.publish(std::make_shared<core::InferenceEngine>(other)),
+      std::invalid_argument);
+  EXPECT_THROW(server.publish(nullptr), std::invalid_argument);
+  EXPECT_EQ(server.stats().snapshot_swaps, 0u);
+}
+
+// The acceptance-criteria test, run under TSan by tools/run_tsan.sh: client
+// threads hammer forecasts while a "retrain" thread keeps publishing
+// perturbed engines. Every request must be answered (zero dropped) with
+// finite values (zero non-finite), and at least one response must reflect
+// post-swap weights.
+TEST(ServeSnapshot, SwapUnderLoad) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 100;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 4);
+  server.ingest(id, values, mask);
+  const Matrix baseline = server.forecast(id);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 40;
+  constexpr std::size_t kSwaps = 6;
+  std::atomic<std::size_t> answered{0};
+  std::atomic<std::size_t> non_finite{0};
+  std::atomic<std::size_t> changed{0};
+
+  std::thread retrainer([&] {
+    for (std::size_t r = 0; r < kSwaps; ++r) {
+      for (ad::Parameter* p : s.model->parameters()) {
+        Matrix& v = p->value();
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          v.data()[i] += 0.01 * static_cast<double>(r + 1);
+        }
+      }
+      server.publish(std::make_shared<core::InferenceEngine>(*s.model));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        const Matrix got = server.forecast(id);
+        ++answered;
+        if (got.has_non_finite()) ++non_finite;
+        if (got != baseline) ++changed;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  retrainer.join();
+  // Fence: publish() posts its swap to the loop, so one more round-trip
+  // through the (FIFO) loop queue guarantees every swap has been applied
+  // before the counters below are read.
+  (void)server.forecast(id);
+
+  EXPECT_EQ(answered.load(), kClients * kPerClient);  // zero dropped
+  EXPECT_EQ(non_finite.load(), 0u);
+  EXPECT_GT(changed.load(), 0u);  // retrained weights actually served
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.snapshot_swaps, kSwaps);
+  EXPECT_EQ(st.responses, kClients * kPerClient + 2);
+  // Coalescing + batching under concurrency: strictly fewer engine calls
+  // than requests.
+  EXPECT_LT(st.engine_calls, st.requests);
+}
+
+}  // namespace
+}  // namespace rihgcn

@@ -12,9 +12,10 @@ Rows are keyed by (name, n, threads). Two row classes:
     median exceeds the baseline by more than --threshold (default +25%,
     wide enough to absorb shared-runner noise while catching real
     regressions like an accidentally serialized kernel).
-  * counter rows (tape_nodes_*, pool_steady_allocs) — deterministic program
-    facts, not timings. Any change at all fails: a new allocation on the
-    steady-state path or a fatter tape is a regression regardless of speed.
+  * counter rows (`"kind": "counter"`; name-prefix fallback for old
+    baselines) — deterministic program facts, not timings. Any change at all
+    fails: a new allocation on the steady-state path or a fatter tape is a
+    regression regardless of speed.
 
 Rows only present in one file are reported but never fail the gate —
 benches grow new rows and retire old ones across PRs.
@@ -34,12 +35,19 @@ import argparse
 import json
 import sys
 
-# Counter-row prefixes: exact-match class (see module docstring).
+# Counter-row prefixes: fallback classification for rows written before the
+# harness stamped an explicit "kind" field (see module docstring).
 COUNTER_PREFIXES = ("tape_nodes_", "pool_steady_allocs")
 
 
-def is_counter(name: str) -> bool:
-    return name.startswith(COUNTER_PREFIXES)
+def is_counter(row: dict) -> bool:
+    """A row is a counter iff it says so (`"kind": "counter"`, written by
+    bench/harness.cpp) — with a name-prefix fallback for baselines generated
+    before the field existed."""
+    kind = row.get("kind")
+    if kind is not None:
+        return kind == "counter"
+    return row["name"].startswith(COUNTER_PREFIXES)
 
 
 def load_rows(path: str) -> dict[tuple[str, int, int], dict]:
@@ -100,7 +108,7 @@ def main() -> int:
             )
             continue
         compared += 1
-        if is_counter(key[0]):
+        if is_counter(base[key]) or is_counter(fresh[key]):
             if new != old:
                 failures.append(
                     f"COUNTER CHANGED  {fmt_key(key)}: {old:g} -> {new:g}"

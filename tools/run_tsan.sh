@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Build the test suite under ThreadSanitizer and run the parallel-backend
 # and sparse-backend suites with a 4-thread pool. Catches data races in the
-# ThreadPool, the threaded tensor kernels (dense and CSR SpMM), and the
-# tape's parallel backward loops.
+# ThreadPool, the threaded tensor kernels (dense and CSR SpMM), the tape's
+# parallel backward loops, and the serving stack (EventLoop post/timer
+# ordering, ForecastServer coalescing and the loop-owned snapshot swap under
+# concurrent clients + a publishing retrainer — ServeSnapshot.SwapUnderLoad
+# is the DESIGN.md §14 zero-pause-publish gate).
 #
 # Usage: tools/run_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -14,7 +17,7 @@ build_dir=build-tsan
 cmake -B "${build_dir}" -S . -DRIHGCN_SANITIZE=thread >/dev/null
 cmake --build "${build_dir}" -j --target rihgcn_tests
 
-filter="${1:-KernelConformance*:ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*:CsrStructure*:CsrSpmm*:*SparseAndDenseTraining*:TapeArena*:FusedCell*:NumericalGuard*:TrainCheckpoint*:FaultInjection*:OnlineRobust*}"
+filter="${1:-KernelConformance*:ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*:CsrStructure*:CsrSpmm*:*SparseAndDenseTraining*:TapeArena*:FusedCell*:NumericalGuard*:TrainCheckpoint*:FaultInjection*:OnlineRobust*:OnlineMemo*:Engine*:EventLoop*:Serve*}"
 
 TSAN_OPTIONS="halt_on_error=1" \
 RIHGCN_THREADS=4 \
