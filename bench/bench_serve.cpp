@@ -17,17 +17,42 @@
 // All clients query ONE stream with no ingest in between, so the server's
 // coalescing answers every concurrent burst with a single engine call —
 // that, not core count, is what scales QPS with C (acceptance: >= 4x at
-// C = 16 vs C = 1). Every row is marked informational this PR (no trusted
-// baseline yet); the flag drops when the runner noise floor is known.
+// C = 16 vs C = 1).
+//
+// Overload & fault-tolerance rows (DESIGN.md §15):
+//   serve_overload_req_ns / serve_overload_p99_ns / serve_overload_qps —
+//     goodput and successful-request tail under a sustained ~2x-capacity
+//     storm: 4 clients on 4 distinct streams against a slow FaultyEngine
+//     behind a 2-slot admission queue with a per-request deadline. Sheds
+//     and expiries are the designed behaviour; the rows track what the
+//     surviving requests cost.
+//   serve_fallback_req_ns / serve_fallback_p99_ns — latency of the
+//     degraded path with the circuit breaker held OPEN (last-good serving,
+//     zero engine calls). The breaker exists so this number stays tiny.
+//   serve_ctr_* (kind = "counter") — exact fault counters from a scripted,
+//     single-threaded choreography (forced faults, no rates, no timing
+//     races): sheds, deadline expiries, breaker open/probe/close,
+//     engine failures, fallback responses, canary quarantines, swaps.
+//     check_bench.py exact-diffs counter rows, so any drift in §15
+//     semantics fails the perf-smoke comparison once the rows graduate.
+//
+// Every row is marked informational this PR (no trusted baseline yet); the
+// flag drops when the runner noise floor is known.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdint>
+#include <future>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "harness.hpp"
+#include "serve/error.hpp"
+#include "serve/faulty_engine.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -96,6 +121,33 @@ bench::MicroResult serve_row(const std::string& name, std::size_t n,
   return r;
 }
 
+// Deterministic program fact (shed count, breaker transitions, ...):
+// ns_per_op carries the value, kind = "counter" makes check_bench.py
+// exact-diff it instead of applying the timing threshold.
+bench::MicroResult serve_counter(const char* name, std::size_t n,
+                                 double value) {
+  bench::MicroResult r = serve_row(name, n, 1, value);
+  r.kind = "counter";
+  return r;
+}
+
+// One denormalized reading seeds stream `id` from dataset timestep `t`.
+void seed_stream(serve::ForecastServer& server, const ServeEnv& env,
+                 std::size_t id, std::size_t t) {
+  const std::size_t n = env.ds.num_nodes();
+  const std::size_t f = env.ds.num_features();
+  Matrix values(n, f);
+  Matrix mask(n, f);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < f; ++c) {
+      mask(i, c) = env.ds.mask[t](i, c);
+      values(i, c) =
+          env.normalizer->denormalize(env.ds.truth[t](i, c), c) * mask(i, c);
+    }
+  }
+  server.ingest(id, values, mask);
+}
+
 void run_predict_compare(const bench::BenchOptions& opts,
                          std::vector<bench::MicroResult>& results) {
   std::printf("Single-query forward: f64 tape vs compiled f32 engine\n");
@@ -135,20 +187,9 @@ void run_serve_load(const bench::BenchOptions& opts,
   cfg.max_delay_us = 200;
   serve::ForecastServer server(engine, *env.normalizer, cfg);
   const std::size_t id = server.add_stream();
-  {
-    // One denormalized reading seeds the stream; clients never ingest, so
-    // every concurrent burst coalesces onto one window.
-    Matrix values(kNodes, env.ds.num_features());
-    Matrix mask(kNodes, env.ds.num_features());
-    for (std::size_t i = 0; i < kNodes; ++i) {
-      for (std::size_t f = 0; f < values.cols(); ++f) {
-        mask(i, f) = env.ds.mask[3](i, f);
-        values(i, f) =
-            env.normalizer->denormalize(env.ds.truth[3](i, f), f) * mask(i, f);
-      }
-    }
-    server.ingest(id, values, mask);
-  }
+  // One reading seeds the stream; clients never ingest, so every concurrent
+  // burst coalesces onto one window.
+  seed_stream(server, env, id, 3);
   for (int i = 0; i < 20; ++i) (void)server.forecast(id);  // warmup
 
   std::printf("\nForecastServer closed-loop load, N=%zu, %.1fs per point\n",
@@ -204,6 +245,258 @@ void run_serve_load(const bench::BenchOptions& opts,
   }
 }
 
+// Sustained overload at roughly 2x capacity (DESIGN.md §15): a FaultyEngine
+// stalling 2 ms per flush behind a 2-slot admission queue, 4 clients on 4
+// DISTINCT streams (no coalescing relief) with a 5 ms default deadline.
+// Roughly half the offered load must be shed or expired by design; the rows
+// track goodput and the successful-request tail, which is what a client of
+// an overloaded-but-healthy server actually observes.
+void run_overload_bench(const bench::BenchOptions& opts,
+                        std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kNodes = 256;
+  constexpr std::size_t kClients = 4;
+  const double duration_sec = opts.full ? 2.0 : 0.8;
+  ServeEnv env = make_env(kNodes, opts.seed);
+  core::InferenceEngine::Options eopts;
+  eopts.max_batch = kClients;
+  serve::FaultyEngine::FaultConfig faults;
+  faults.latency_us = 2000;  // the overload knob: every flush stalls 2 ms
+  auto engine = std::make_shared<serve::FaultyEngine>(*env.model, eopts,
+                                                      faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = kClients;
+  cfg.max_delay_us = 200;
+  cfg.max_queue = 2;  // half the client count: sustained ~2x overcommit
+  cfg.default_deadline_us = 5000;
+  serve::ForecastServer server(engine, *env.normalizer, cfg);
+  std::vector<std::size_t> ids;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ids.push_back(server.add_stream());
+    seed_stream(server, env, ids.back(), 3 + c);
+  }
+  const serve::ServerStats before = server.stats();
+  std::vector<std::vector<double>> lat(kClients);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(duration_sec);
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto q0 = std::chrono::steady_clock::now();
+        try {
+          const Matrix pred = server.forecast(ids[c]);
+          if (pred.has_non_finite()) std::abort();
+        } catch (const serve::ServeError&) {
+          continue;  // shed or expired: designed behaviour, not goodput
+        }
+        const auto q1 = std::chrono::steady_clock::now();
+        lat[c].push_back(
+            std::chrono::duration<double, std::nano>(q1 - q0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = bench::seconds_since(t0);
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const std::size_t count = all.size();
+  if (count == 0) return;  // pathological run; leave the rows out
+  const serve::ServerStats after = server.stats();
+  const double qps = static_cast<double>(count) / elapsed;
+  const double p99 = all[std::min(count - 1, count * 99 / 100)];
+  const std::size_t shed = after.shed_requests - before.shed_requests;
+  const std::size_t expired = after.deadline_expired - before.deadline_expired;
+  results.push_back(serve_row("serve_overload_req_ns", kNodes, kClients,
+                              1e9 / qps));
+  results.push_back(serve_row("serve_overload_p99_ns", kNodes, kClients, p99));
+  results.push_back(serve_row("serve_overload_qps", kNodes, kClients, qps));
+  std::printf("\nOverload storm (~2x capacity, 2ms engine, queue=2, "
+              "deadline=5ms), N=%zu\n", kNodes);
+  std::printf("  goodput %.0f QPS, p99 %.0f us; shed %zu, expired %zu of "
+              "%zu offered\n", qps, p99 / 1e3, shed, expired,
+              count + shed + expired);
+}
+
+// Degraded-path latency (DESIGN.md §15): hold the circuit breaker OPEN (two
+// forced throws, 60 s cooldown) and measure what a request costs when the
+// loop answers straight from the stream's last-good forecast, no engine
+// call. This is the latency clients see while the engine is down.
+void run_fallback_bench(const bench::BenchOptions& opts,
+                        std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kNodes = 256;
+  const double duration_sec = opts.full ? 1.0 : 0.4;
+  ServeEnv env = make_env(kNodes, opts.seed);
+  auto engine = std::make_shared<serve::FaultyEngine>(
+      *env.model, core::InferenceEngine::Options{},
+      serve::FaultyEngine::FaultConfig{});
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;  // flush per request: deterministic breaker choreography
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown_us = 60'000'000;  // breaker stays open for the run
+  serve::ForecastServer server(engine, *env.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  seed_stream(server, env, id, 3);
+  (void)server.forecast(id);  // healthy call populates last_good
+  engine->force_throw_next(cfg.breaker_threshold);
+  for (std::size_t k = 0; k < cfg.breaker_threshold; ++k) {
+    (void)server.forecast(id);  // fallback responses; breaker opens
+  }
+  const std::size_t calls_open = engine->calls();
+  std::vector<double> lat;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(duration_sec);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto q0 = std::chrono::steady_clock::now();
+    const Matrix pred = server.forecast(id);
+    const auto q1 = std::chrono::steady_clock::now();
+    if (pred.has_non_finite()) std::abort();
+    lat.push_back(std::chrono::duration<double, std::nano>(q1 - q0).count());
+  }
+  if (engine->calls() != calls_open) std::abort();  // breaker must stay open
+  std::sort(lat.begin(), lat.end());
+  const std::size_t count = lat.size();
+  if (count == 0) return;
+  const double mean = static_cast<double>(count) /
+                      bench::seconds_since(t0);
+  const double p99 = lat[std::min(count - 1, count * 99 / 100)];
+  results.push_back(serve_row("serve_fallback_req_ns", kNodes, 1, 1e9 / mean));
+  results.push_back(serve_row("serve_fallback_p99_ns", kNodes, 1, p99));
+  std::printf("\nBreaker-open fallback path (last-good, zero engine calls), "
+              "N=%zu\n", kNodes);
+  std::printf("  %.0f req/s, p50 %.1f us, p99 %.1f us\n", mean,
+              lat[count / 2] / 1e3, p99 / 1e3);
+}
+
+// Exact §15 fault counters from a scripted single-threaded choreography —
+// forced faults only, no rates, no cross-thread races, generous timing
+// margins — so every run of this binary produces bit-identical values and
+// check_bench.py can exact-diff them as kind = "counter" rows.
+void run_fault_counters(const bench::BenchOptions& opts,
+                        std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kNodes = 256;
+  ServeEnv env = make_env(kNodes, opts.seed);
+
+  // --- Part 1: bounded admission + deadlines --------------------------------
+  // Queue of 2, flush only on drain (60 s delay timer, batch of 8 never
+  // reached): four async requests on four distinct streams admit exactly two
+  // and shed exactly two; a fifth request with a 1 us deadline expires
+  // (on-arrival or via its queue timer — both count once) before any flush.
+  std::size_t shed = 0, expired = 0;
+  {
+    auto engine = std::make_shared<serve::FaultyEngine>(
+        *env.model, core::InferenceEngine::Options{},
+        serve::FaultyEngine::FaultConfig{});
+    serve::ServeConfig cfg;
+    cfg.max_batch = 8;
+    cfg.max_delay_us = 60'000'000;
+    cfg.max_queue = 2;
+    cfg.shed_policy = serve::ShedPolicy::kRejectNew;
+    serve::ForecastServer server(engine, *env.normalizer, cfg);
+    std::vector<std::size_t> ids;
+    for (std::size_t c = 0; c < 4; ++c) {
+      ids.push_back(server.add_stream());
+      seed_stream(server, env, ids.back(), 3 + c);
+    }
+    std::vector<std::future<Matrix>> futs;
+    for (std::size_t c = 0; c < 4; ++c) {
+      futs.push_back(server.forecast_async(ids[c]));
+    }
+    auto doomed = server.forecast_async(ids[0], std::uint64_t{1});
+    try {
+      (void)doomed.get();
+      std::abort();  // a 1 us deadline with a 60 s flush timer cannot win
+    } catch (const serve::ServeError&) {
+    }
+    for (std::size_t c = 2; c < 4; ++c) {
+      try {
+        (void)futs[c].get();
+        std::abort();  // beyond max_queue: must be OVERLOADED
+      } catch (const serve::ServeError&) {
+      }
+    }
+    server.drain();  // final flush serves the two admitted windows
+    (void)futs[0].get();
+    (void)futs[1].get();
+    const serve::ServerStats s = server.stats();
+    shed = s.shed_requests;
+    expired = s.deadline_expired;
+  }
+
+  // --- Part 2: breaker lifecycle, fallback, canary quarantine ---------------
+  serve::ServerStats fault_stats;
+  {
+    auto engine = std::make_shared<serve::FaultyEngine>(
+        *env.model, core::InferenceEngine::Options{},
+        serve::FaultyEngine::FaultConfig{});
+    serve::ServeConfig cfg;
+    cfg.max_batch = 1;  // every request is its own flush
+    cfg.breaker_threshold = 2;
+    cfg.breaker_cooldown_us = 200'000;
+    serve::ForecastServer server(engine, *env.normalizer, cfg);
+    const std::size_t id = server.add_stream();
+    seed_stream(server, env, id, 3);
+    (void)server.forecast(id);  // healthy: last_good populated
+    engine->force_throw_next(2);
+    (void)server.forecast(id);  // failure 1: fallback response
+    (void)server.forecast(id);  // failure 2: fallback, breaker OPEN
+    (void)server.forecast(id);  // open + inside cooldown: fallback, no call
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    (void)server.forecast(id);  // half-open probe succeeds: breaker CLOSED
+    // Canary gate: a NaN-poisoning candidate and a throwing candidate are
+    // both quarantined; a healthy one swaps.
+    serve::FaultyEngine::FaultConfig nan_always;
+    nan_always.nan_rate = 1.0;
+    if (server.publish(std::make_shared<serve::FaultyEngine>(
+            *env.model, core::InferenceEngine::Options{}, nan_always))) {
+      std::abort();
+    }
+    auto thrower = std::make_shared<serve::FaultyEngine>(
+        *env.model, core::InferenceEngine::Options{},
+        serve::FaultyEngine::FaultConfig{});
+    thrower->force_throw_next(1);
+    if (server.publish(thrower)) std::abort();
+    if (!server.publish(std::make_shared<core::InferenceEngine>(*env.model))) {
+      std::abort();
+    }
+    server.drain();  // join the loop so the posted swap is counted
+    fault_stats = server.stats();
+  }
+
+  results.push_back(serve_counter("serve_ctr_shed", kNodes,
+                                  static_cast<double>(shed)));
+  results.push_back(serve_counter("serve_ctr_deadline_expired", kNodes,
+                                  static_cast<double>(expired)));
+  results.push_back(serve_counter(
+      "serve_ctr_engine_failures", kNodes,
+      static_cast<double>(fault_stats.engine_failures)));
+  results.push_back(serve_counter(
+      "serve_ctr_fallback_responses", kNodes,
+      static_cast<double>(fault_stats.fallback_responses)));
+  results.push_back(serve_counter(
+      "serve_ctr_breaker_opens", kNodes,
+      static_cast<double>(fault_stats.breaker_opens)));
+  results.push_back(serve_counter(
+      "serve_ctr_breaker_probes", kNodes,
+      static_cast<double>(fault_stats.breaker_probes)));
+  results.push_back(serve_counter(
+      "serve_ctr_breaker_closes", kNodes,
+      static_cast<double>(fault_stats.breaker_closes)));
+  results.push_back(serve_counter(
+      "serve_ctr_quarantined", kNodes,
+      static_cast<double>(fault_stats.quarantined_publishes)));
+  results.push_back(serve_counter(
+      "serve_ctr_snapshot_swaps", kNodes,
+      static_cast<double>(fault_stats.snapshot_swaps)));
+  std::printf("\nFault counters (scripted): shed=%zu expired=%zu "
+              "failures=%zu fallback=%zu opens=%zu probes=%zu closes=%zu "
+              "quarantined=%zu swaps=%zu\n",
+              shed, expired, fault_stats.engine_failures,
+              fault_stats.fallback_responses, fault_stats.breaker_opens,
+              fault_stats.breaker_probes, fault_stats.breaker_closes,
+              fault_stats.quarantined_publishes, fault_stats.snapshot_swaps);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +504,9 @@ int main(int argc, char** argv) {
   std::vector<bench::MicroResult> results;
   run_predict_compare(opts, results);
   run_serve_load(opts, results);
+  run_overload_bench(opts, results);
+  run_fallback_bench(opts, results);
+  run_fault_counters(opts, results);
   if (!opts.json_path.empty()) {
     bench::write_micro_json(opts.json_path, results);
     std::printf("(json written to %s)\n", opts.json_path.c_str());

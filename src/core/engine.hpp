@@ -53,6 +53,7 @@ class InferenceEngine {
   InferenceEngine(const RihgcnModel& model, Options options);
   explicit InferenceEngine(const RihgcnModel& model)
       : InferenceEngine(model, Options{}) {}
+  virtual ~InferenceEngine() = default;
 
   /// Preallocated scratch for one in-flight forward. Not thread-safe:
   /// create one per thread via make_workspace(). All buffers are sized for
@@ -89,9 +90,12 @@ class InferenceEngine {
 
   /// Batched forward over `batch` windows (1 ≤ batch ≤ max_batch). Each
   /// window must have `lookback` steps of N x F observations/masks. Returns
-  /// ws.predictions(); no heap allocation happens on this path.
-  const FMatrix& predict_batch(const data::Window* const* windows,
-                               std::size_t batch, Workspace& ws) const;
+  /// ws.predictions(); no heap allocation happens on this path. Virtual so
+  /// fault-injecting test decorators (serve::FaultyEngine) can wrap the
+  /// plan; the serving hot path pays one indirect call per FLUSH, not per
+  /// request.
+  virtual const FMatrix& predict_batch(const data::Window* const* windows,
+                                       std::size_t batch, Workspace& ws) const;
 
   /// Convenience single-query forward through an internal workspace
   /// (allocates only the returned Matrix). Same numerics as a batch of 1.
@@ -105,6 +109,13 @@ class InferenceEngine {
     return steps_per_day_;
   }
   [[nodiscard]] std::size_t max_batch() const noexcept { return max_batch_; }
+
+ protected:
+  /// Mutable access to a workspace's prediction buffer for derived
+  /// fault-injecting decorators (Workspace befriends only this class).
+  [[nodiscard]] static FMatrix& workspace_pred(Workspace& ws) noexcept {
+    return ws.pred;
+  }
 
  private:
   /// One graph's Laplacian, compiled into whichever apply form is cheapest

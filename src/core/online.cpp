@@ -22,9 +22,7 @@ OnlineForecaster::OnlineForecaster(ForecastModel& model,
       horizon_(horizon),
       steps_per_day_(steps_per_day),
       start_slot_(start_slot % std::max<std::size_t>(1, steps_per_day)),
-      last_value_(num_nodes, 0.0),
-      repeat_runs_(num_nodes, 0),
-      stuck_(num_nodes, false) {
+      stuck_detector_(num_nodes, /*threshold=*/12) {
   if (num_nodes == 0 || num_features == 0 || lookback == 0 || horizon == 0 ||
       steps_per_day == 0) {
     throw std::invalid_argument("OnlineForecaster: zero dimension");
@@ -39,61 +37,18 @@ void OnlineForecaster::push_reading(const Matrix& values, const Matrix& mask) {
   // Sanitize on ingest: a live feed can carry NaN/Inf where a well-behaved
   // one would report a gap, and mask bits arrive as arbitrary doubles.
   // Corrupt entries are demoted to missing — the imputation machinery then
-  // treats them exactly like any other gap — and never stored.
+  // treats them exactly like any other gap — and never stored. Then demote
+  // stuck sensors (normalization is affine and injective, so run-length
+  // equality on normalized values matches the original-unit semantics).
+  // Both steps are the shared core/robust primitives ForecastServer uses.
   Matrix normalized(num_nodes_, num_features_);
   Matrix clean_mask(num_nodes_, num_features_);
-  for (std::size_t i = 0; i < num_nodes_; ++i) {
-    for (std::size_t f = 0; f < num_features_; ++f) {
-      const double m = mask(i, f);
-      bool observed;
-      if (std::isfinite(m) && (m == 0.0 || m == 1.0)) {
-        observed = m > 0.5;
-      } else {
-        ++coerced_mask_entries_;
-        observed = std::isfinite(m) && m > 0.5;
-      }
-      if (observed && !std::isfinite(values(i, f))) {
-        observed = false;
-        ++sanitized_entries_;
-      }
-      double z = 0.0;
-      if (observed) {
-        z = normalizer_.normalize_value(values(i, f), f);
-        if (!std::isfinite(z)) {  // degenerate normalizer stats
-          observed = false;
-          z = 0.0;
-          ++sanitized_entries_;
-        }
-      }
-      clean_mask(i, f) = observed ? 1.0 : 0.0;
-      normalized(i, f) = z;
-    }
-  }
-  // Stuck-at detection on the target feature: a sensor repeating one exact
-  // value for `stuck_threshold_` consecutive observed readings is flagged
-  // and its readings demoted to missing until the value moves again (real
-  // traffic always jitters; a frozen register does not).
-  if (stuck_threshold_ > 0) {
-    for (std::size_t i = 0; i < num_nodes_; ++i) {
-      if (clean_mask(i, 0) <= 0.5) continue;
-      const double v = values(i, 0);
-      if (repeat_runs_[i] > 0 && v == last_value_[i]) {
-        ++repeat_runs_[i];
-      } else {
-        repeat_runs_[i] = 1;
-        last_value_[i] = v;
-        stuck_[i] = false;
-      }
-      if (repeat_runs_[i] >= stuck_threshold_) stuck_[i] = true;
-      if (stuck_[i]) {
-        for (std::size_t f = 0; f < num_features_; ++f) {
-          clean_mask(i, f) = 0.0;
-          normalized(i, f) = 0.0;
-        }
-        ++stuck_demotions_;
-      }
-    }
-  }
+  const SanitizeCounts counts =
+      sanitize_reading(values, mask, normalizer_, normalized, clean_mask);
+  sanitized_entries_ += counts.sanitized_entries;
+  coerced_mask_entries_ += counts.coerced_mask_entries;
+  stuck_demotions_ += stuck_detector_.observe_and_demote(normalized,
+                                                         clean_mask);
   values_.push_back(std::move(normalized));
   masks_.push_back(std::move(clean_mask));
   if (values_.size() > lookback_) {
@@ -173,14 +128,8 @@ Matrix OnlineForecaster::robust_predict(const data::Window& w) {
   if (pred.rows() != num_nodes_ || pred.cols() != horizon_) {
     pred = Matrix(num_nodes_, horizon_);  // zeros = historical mean
   }
-  for (std::size_t i = 0; i < pred.rows(); ++i) {
-    for (std::size_t h = 0; h < pred.cols(); ++h) {
-      if (!std::isfinite(pred(i, h))) {
-        pred(i, h) = 0.0;  // normalized-space historical mean
-        ++scrubbed_outputs_;
-      }
-    }
-  }
+  // Normalized-space historical mean — the shared scrub semantics.
+  scrubbed_outputs_ += scrub_non_finite(pred);
   return pred;
 }
 
@@ -211,12 +160,9 @@ std::vector<Matrix> OnlineForecaster::completed_history() {
   std::vector<Matrix> out;
   for (std::size_t k = pad; k < filled.size(); ++k) {
     Matrix m = filled[k];
+    scrubbed_outputs_ += scrub_non_finite(m);
     for (std::size_t i = 0; i < m.rows(); ++i) {
       for (std::size_t f = 0; f < m.cols(); ++f) {
-        if (!std::isfinite(m(i, f))) {
-          m(i, f) = 0.0;  // normalized-space historical mean
-          ++scrubbed_outputs_;
-        }
         m(i, f) = normalizer_.denormalize(m(i, f), f);
       }
     }
@@ -238,21 +184,9 @@ HealthReport OnlineForecaster::health() const {
   h.scrubbed_outputs = scrubbed_outputs_;
   // Suspects: sensors currently flagged stuck, plus sensors dead (zero
   // observed entries) across a completely full buffer.
-  const bool buffer_full = values_.size() == lookback_;
-  for (std::size_t i = 0; i < num_nodes_; ++i) {
-    bool suspect = stuck_[i];
-    if (!suspect && buffer_full) {
-      bool any_observed = false;
-      for (const Matrix& m : masks_) {
-        for (std::size_t f = 0; f < num_features_ && !any_observed; ++f) {
-          if (m(i, f) > 0.5) any_observed = true;
-        }
-        if (any_observed) break;
-      }
-      suspect = !any_observed;
-    }
-    if (suspect) h.suspect_sensors.push_back(i);
-  }
+  h.suspect_sensors = find_suspect_sensors(
+      stuck_detector_.flags(), masks_, num_nodes_,
+      /*buffer_full=*/values_.size() == lookback_);
   return h;
 }
 

@@ -60,7 +60,7 @@ class OnlineForecaster {
   /// consecutive observed readings is flagged stuck and its readings are
   /// demoted to missing until the value moves again. 0 disables detection.
   void set_stuck_threshold(std::size_t readings) noexcept {
-    stuck_threshold_ = readings;
+    stuck_detector_.set_threshold(readings);
     memo_valid_ = false;  // future demotions aside, keep semantics simple
   }
 
@@ -122,10 +122,9 @@ class OnlineForecaster {
   std::deque<Matrix> masks_;
 
   // ---- Robustness state ----------------------------------------------------
-  std::size_t stuck_threshold_ = 12;
-  std::vector<double> last_value_;        // per node, target feature
-  std::vector<std::size_t> repeat_runs_;  // consecutive identical readings
-  std::vector<bool> stuck_;               // currently flagged stuck
+  // Sanitization, stuck detection and scrubbing are the SHARED primitives of
+  // core/robust.{hpp,cpp} — serve::ForecastServer degrades identically.
+  StuckSensorDetector stuck_detector_;
   std::size_t sanitized_entries_ = 0;
   std::size_t coerced_mask_entries_ = 0;
   std::size_t stuck_demotions_ = 0;

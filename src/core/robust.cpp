@@ -104,4 +104,107 @@ void NumericalGuard::rollback() {
   state_.consecutive_bad = 0;
 }
 
+// ---- shared serving-side robustness primitives -----------------------------
+
+std::size_t scrub_non_finite(Matrix& m, double replacement) {
+  std::size_t scrubbed = 0;
+  double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(p[i])) {
+      p[i] = replacement;
+      ++scrubbed;
+    }
+  }
+  return scrubbed;
+}
+
+SanitizeCounts sanitize_reading(const Matrix& values, const Matrix& mask,
+                                const data::ZScoreNormalizer& normalizer,
+                                Matrix& normalized, Matrix& clean_mask) {
+  SanitizeCounts counts;
+  for (std::size_t i = 0; i < values.rows(); ++i) {
+    for (std::size_t f = 0; f < values.cols(); ++f) {
+      const double m = mask(i, f);
+      bool observed;
+      if (std::isfinite(m) && (m == 0.0 || m == 1.0)) {
+        observed = m > 0.5;
+      } else {
+        ++counts.coerced_mask_entries;
+        observed = std::isfinite(m) && m > 0.5;
+      }
+      if (observed && !std::isfinite(values(i, f))) {
+        observed = false;
+        ++counts.sanitized_entries;
+      }
+      double z = 0.0;
+      if (observed) {
+        z = normalizer.normalize_value(values(i, f), f);
+        if (!std::isfinite(z)) {  // degenerate normalizer stats
+          observed = false;
+          z = 0.0;
+          ++counts.sanitized_entries;
+        }
+      }
+      clean_mask(i, f) = observed ? 1.0 : 0.0;
+      normalized(i, f) = z;
+    }
+  }
+  return counts;
+}
+
+StuckSensorDetector::StuckSensorDetector(std::size_t num_nodes,
+                                         std::size_t threshold)
+    : threshold_(threshold),
+      last_value_(num_nodes, 0.0),
+      repeat_runs_(num_nodes, 0),
+      stuck_(num_nodes, false) {}
+
+std::size_t StuckSensorDetector::observe_and_demote(Matrix& values,
+                                                    Matrix& mask) {
+  if (threshold_ == 0 || last_value_.empty()) return 0;
+  std::size_t demoted = 0;
+  const std::size_t num_features = values.cols();
+  for (std::size_t i = 0; i < last_value_.size(); ++i) {
+    if (mask(i, 0) <= 0.5) continue;
+    const double v = values(i, 0);
+    if (repeat_runs_[i] > 0 && v == last_value_[i]) {
+      ++repeat_runs_[i];
+    } else {
+      repeat_runs_[i] = 1;
+      last_value_[i] = v;
+      stuck_[i] = false;
+    }
+    if (repeat_runs_[i] >= threshold_) stuck_[i] = true;
+    if (stuck_[i]) {
+      for (std::size_t f = 0; f < num_features; ++f) {
+        mask(i, f) = 0.0;
+        values(i, f) = 0.0;
+      }
+      ++demoted;
+    }
+  }
+  return demoted;
+}
+
+std::vector<std::size_t> find_suspect_sensors(
+    const std::vector<bool>& stuck_flags, const std::deque<Matrix>& masks,
+    std::size_t num_nodes, bool buffer_full) {
+  std::vector<std::size_t> suspects;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    bool suspect = i < stuck_flags.size() && stuck_flags[i];
+    if (!suspect && buffer_full) {
+      bool any_observed = false;
+      for (const Matrix& m : masks) {
+        for (std::size_t f = 0; f < m.cols() && !any_observed; ++f) {
+          if (m(i, f) > 0.5) any_observed = true;
+        }
+        if (any_observed) break;
+      }
+      suspect = !any_observed;
+    }
+    if (suspect) suspects.push_back(i);
+  }
+  return suspects;
+}
+
 }  // namespace rihgcn::core

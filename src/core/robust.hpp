@@ -16,12 +16,20 @@
 //  * HealthReport — the serving-side health surface of OnlineForecaster:
 //    buffer coverage, suspect (stuck/dead) sensors, sanitization and
 //    fallback counters.
+//  * Shared serving-side scrub/sanitize/stuck-detection primitives
+//    (DESIGN.md §15) — ONE implementation behind both serving layers:
+//    the single-tenant OnlineForecaster and the multi-client
+//    serve::ForecastServer apply identical ingest sanitization, identical
+//    stuck-sensor demotion and identical non-finite output scrubbing, so a
+//    reading degrades the same way no matter which front end saw it.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <vector>
 
 #include "autodiff/tape.hpp"
+#include "data/dataset.hpp"
 #include "nn/optim.hpp"
 
 namespace rihgcn::core {
@@ -120,6 +128,73 @@ class NumericalGuard {
   std::vector<Matrix> good_values_;
   nn::AdamOptimizer::State good_opt_;
 };
+
+// ---- shared serving-side robustness primitives -----------------------------
+
+/// Replace every non-finite entry of `m` with `replacement` (0.0 = the
+/// historical mean in normalized space). Returns the number of entries
+/// scrubbed. Both serving layers route model output through this before a
+/// value ever reaches a client — a forecast is never non-finite.
+std::size_t scrub_non_finite(Matrix& m, double replacement = 0.0);
+
+/// What one sanitize_reading call demoted (for health counters).
+struct SanitizeCounts {
+  std::size_t sanitized_entries = 0;    ///< non-finite values demoted
+  std::size_t coerced_mask_entries = 0; ///< mask entries outside {0,1}
+};
+
+/// Ingest sanitization shared by OnlineForecaster::push_reading and
+/// ForecastServer::ingest: demote non-finite values and malformed mask
+/// entries to missing, normalize the survivors. `normalized` and
+/// `clean_mask` must be preallocated to the shape of `values`; entries are
+/// fully overwritten. A pure function of (values, mask, normalizer) — safe
+/// to run on any thread against a frozen normalizer.
+SanitizeCounts sanitize_reading(const Matrix& values, const Matrix& mask,
+                                const data::ZScoreNormalizer& normalizer,
+                                Matrix& normalized, Matrix& clean_mask);
+
+/// Sliding-run stuck-sensor detector shared by both serving layers: a node
+/// whose target-feature value repeats exactly `threshold` consecutive
+/// observed readings is flagged stuck, and its readings are demoted to
+/// missing until the value moves again (real traffic always jitters; a
+/// frozen register does not). One instance per stream; feed it every
+/// sanitized reading in arrival order.
+class StuckSensorDetector {
+ public:
+  StuckSensorDetector() = default;
+  /// `threshold` consecutive identical observed readings flag a node;
+  /// 0 disables detection (observe_and_demote becomes a no-op).
+  StuckSensorDetector(std::size_t num_nodes, std::size_t threshold);
+
+  /// Inspect one sanitized reading (any consistent unit space — equality is
+  /// all that matters) and demote stuck nodes: their rows in `values` and
+  /// `mask` are zeroed. Returns the number of readings demoted this call.
+  std::size_t observe_and_demote(Matrix& values, Matrix& mask);
+
+  /// Re-arm with a new threshold; run-length state is preserved.
+  void set_threshold(std::size_t threshold) noexcept {
+    threshold_ = threshold;
+  }
+  [[nodiscard]] std::size_t threshold() const noexcept { return threshold_; }
+  /// Per-node "currently flagged stuck" flags.
+  [[nodiscard]] const std::vector<bool>& flags() const noexcept {
+    return stuck_;
+  }
+
+ private:
+  std::size_t threshold_ = 0;
+  std::vector<double> last_value_;        ///< per node, target feature
+  std::vector<std::size_t> repeat_runs_;  ///< consecutive identical readings
+  std::vector<bool> stuck_;               ///< currently flagged stuck
+};
+
+/// Suspect-sensor roll-up shared by the health surfaces: nodes currently
+/// flagged stuck, plus nodes dead (zero observed entries) across a FULL
+/// buffer of masks (`buffer_full` false suppresses the dead check — a
+/// half-warm buffer says nothing about sensor death).
+[[nodiscard]] std::vector<std::size_t> find_suspect_sensors(
+    const std::vector<bool>& stuck_flags, const std::deque<Matrix>& masks,
+    std::size_t num_nodes, bool buffer_full);
 
 /// Serving-side health surface of core::OnlineForecaster.
 struct HealthReport {

@@ -1,0 +1,59 @@
+// Typed serving failures (DESIGN.md §15).
+//
+// Every ForecastServer request resolves to exactly one of: a finite Matrix,
+// or a ServeError delivered through the future via set_exception — never a
+// bare std::future_error{broken_promise}. The status taxonomy mirrors what
+// a production RPC layer would map onto wire codes:
+//
+//   kOverloaded       — bounded admission rejected the request (queue full
+//                       under ShedPolicy::kRejectNew) or shed it (victim of
+//                       ShedPolicy::kShedOldest).
+//   kDeadlineExceeded — the request's deadline expired while it waited in
+//                       the admission queue (or had already expired on
+//                       arrival); it never consumed a batch slot.
+//   kEngineFailure    — the engine threw or emitted non-finite output and
+//                       degraded serving is disabled
+//                       (ServeConfig::degraded_serving = false); with
+//                       degradation on, clients receive fallback VALUES
+//                       instead of this error.
+//   kShuttingDown     — the request arrived at (or survived into) drain();
+//                       the server is quiescing and will not serve it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rihgcn::serve {
+
+enum class ServeStatus {
+  kOverloaded,
+  kDeadlineExceeded,
+  kEngineFailure,
+  kShuttingDown,
+};
+
+[[nodiscard]] constexpr const char* to_string(ServeStatus s) noexcept {
+  switch (s) {
+    case ServeStatus::kOverloaded: return "OVERLOADED";
+    case ServeStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ServeStatus::kEngineFailure: return "ENGINE_FAILURE";
+    case ServeStatus::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "UNKNOWN";
+}
+
+/// The one exception type ForecastServer futures carry. what() always leads
+/// with the status name so a log line is greppable without the type.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ServeStatus status, const std::string& detail)
+      : std::runtime_error(std::string(to_string(status)) + ": " + detail),
+        status_(status) {}
+
+  [[nodiscard]] ServeStatus status() const noexcept { return status_; }
+
+ private:
+  ServeStatus status_;
+};
+
+}  // namespace rihgcn::serve

@@ -46,6 +46,7 @@ bool EventLoop::drain_one(std::unique_lock<std::mutex>& lock) {
              timers_.begin()->first.first <= Clock::now()) {
     auto it = timers_.begin();
     h = std::move(it->second);
+    timer_index_.erase(it->first.second);
     timers_.erase(it);
   } else {
     return false;
@@ -64,6 +65,27 @@ void EventLoop::stop() {
   cv_.notify_all();
 }
 
+void EventLoop::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t EventLoop::drain_ready() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) {
+    throw std::logic_error("EventLoop::drain_ready: loop is running");
+  }
+  std::size_t drained = 0;
+  while (!ready_.empty()) {
+    Handler h = std::move(ready_.front());
+    ready_.pop_front();
+    lock.unlock();
+    h();
+    ++drained;
+    lock.lock();
+  }
+  return drained;
+}
+
 void EventLoop::post(Handler h) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -78,6 +100,7 @@ std::uint64_t EventLoop::add_time_handler(Clock::time_point when, Handler h) {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
     timers_.emplace(std::make_pair(when, id), std::move(h));
+    timer_index_.emplace(id, when);
   }
   cv_.notify_all();
   return id;
@@ -85,13 +108,11 @@ std::uint64_t EventLoop::add_time_handler(Clock::time_point when, Handler h) {
 
 bool EventLoop::cancel(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
-    if (it->first.second == id) {
-      timers_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  const auto idx = timer_index_.find(id);
+  if (idx == timer_index_.end()) return false;
+  timers_.erase(std::make_pair(idx->second, id));
+  timer_index_.erase(idx);
+  return true;
 }
 
 bool EventLoop::running() const {

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -38,8 +39,20 @@ class EventLoop {
   /// Process handlers until stop(); callable directly for same-thread use.
   void run();
   /// Ask the loop to exit after the handler in flight; joins nothing —
-  /// the destructor (or a caller holding the thread) joins.
+  /// the destructor, join(), or a caller holding the thread joins.
   void stop();
+  /// Join the background thread started by start(). Safe to call once after
+  /// stop(); no-op if no thread is running. ForecastServer::drain uses
+  /// stop()+join() for a deterministic quiesce point.
+  void join();
+
+  /// Run any handlers still sitting in the ready queue on the CALLER's
+  /// thread. Only legal when the loop is not running (i.e. after
+  /// stop()+join()): it exists to give closures that were posted after the
+  /// loop exited a deterministic place to resolve their promises instead of
+  /// being silently destroyed. Returns the number of handlers run. Pending
+  /// timers are NOT fired. Throws std::logic_error if the loop is running.
+  std::size_t drain_ready();
 
   /// Enqueue an immediate handler (FIFO order among posts).
   void post(Handler h);
@@ -54,7 +67,8 @@ class EventLoop {
   }
 
   /// Drop a not-yet-fired timer. Returns false if it already fired (or the
-  /// id is unknown).
+  /// id is unknown). O(log n) via the id index — the serving layer cancels
+  /// one deadline timer per answered request, so this is on the hot path.
   bool cancel(std::uint64_t id);
 
   /// True while run() is executing (any thread).
@@ -69,6 +83,7 @@ class EventLoop {
   std::condition_variable cv_;
   std::deque<Handler> ready_;
   std::map<std::pair<Clock::time_point, std::uint64_t>, Handler> timers_;
+  std::map<std::uint64_t, Clock::time_point> timer_index_;  ///< id -> deadline
   std::uint64_t next_id_ = 1;
   bool stop_requested_ = false;
   bool running_ = false;

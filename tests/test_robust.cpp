@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -854,6 +855,107 @@ TEST(OnlineMemo, ThrowingForecastIsNeverCached) {
   // (and throws again) instead of replaying a cached error or stale value.
   EXPECT_THROW((void)online.forecast(), std::runtime_error);
   EXPECT_EQ(online.health().memoized_forecasts, 0u);
+}
+
+// ---- shared serving-side primitives (core/robust, DESIGN.md §15) -----------
+//
+// These are the ONE implementation behind both OnlineForecaster and
+// serve::ForecastServer; the unit tests here pin the exact semantics the
+// two serving layers inherit.
+
+TEST(RobustPrimitives, ScrubNonFiniteReplacesAndCounts) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.5;
+  m(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  m(1, 0) = -std::numeric_limits<double>::infinity();
+  m(1, 1) = 0.0;
+  EXPECT_EQ(core::scrub_non_finite(m, 7.0), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+  EXPECT_EQ(core::scrub_non_finite(m), 0u);  // idempotent once clean
+}
+
+TEST(RobustPrimitives, SanitizeReadingDemotesAndCoerces) {
+  data::TrafficDataset ds = data::generate_pems_like([] {
+    data::PemsLikeConfig cfg;
+    cfg.num_nodes = 3;
+    cfg.num_days = 1;
+    cfg.steps_per_day = 24;
+    return cfg;
+  }());
+  const data::ZScoreNormalizer norm(ds, ds.num_timesteps());
+  Matrix values(3, ds.num_features());
+  Matrix mask(3, ds.num_features());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = 10.0;
+    mask.data()[i] = 1.0;
+  }
+  values(0, 0) = std::numeric_limits<double>::quiet_NaN();  // observed NaN
+  mask(1, 0) = 0.7;   // malformed mask entry, still > 0.5 → observed
+  mask(2, 0) = -3.0;  // malformed mask entry, ≤ 0.5 → missing
+  Matrix normalized(3, ds.num_features());
+  Matrix clean(3, ds.num_features());
+  const core::SanitizeCounts c =
+      core::sanitize_reading(values, mask, norm, normalized, clean);
+  EXPECT_EQ(c.sanitized_entries, 1u);
+  EXPECT_EQ(c.coerced_mask_entries, 2u);
+  EXPECT_DOUBLE_EQ(clean(0, 0), 0.0);  // NaN value demoted
+  EXPECT_DOUBLE_EQ(normalized(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(clean(1, 0), 1.0);  // 0.7 coerced to observed
+  EXPECT_DOUBLE_EQ(clean(2, 0), 0.0);  // -3 coerced to missing
+  EXPECT_FALSE(normalized.has_non_finite());
+}
+
+TEST(RobustPrimitives, StuckDetectorFlagsRunsAndRecovers) {
+  core::StuckSensorDetector det(2, /*threshold=*/3);
+  Matrix v(2, 1), m(2, 1);
+  auto feed = [&](double a, double b) {
+    v(0, 0) = a;
+    v(1, 0) = b;
+    m(0, 0) = m(1, 0) = 1.0;
+    return det.observe_and_demote(v, m);
+  };
+  EXPECT_EQ(feed(5.0, 1.0), 0u);
+  EXPECT_EQ(feed(5.0, 2.0), 0u);
+  EXPECT_EQ(feed(5.0, 3.0), 1u);  // node 0 hit 3 identical readings
+  EXPECT_TRUE(det.flags()[0]);
+  EXPECT_FALSE(det.flags()[1]);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);  // demoted: row zeroed in the mask
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+  // The value moving again un-flags the node immediately.
+  EXPECT_EQ(feed(6.0, 4.0), 0u);
+  EXPECT_FALSE(det.flags()[0]);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+}
+
+TEST(RobustPrimitives, StuckDetectorThresholdZeroDisables) {
+  core::StuckSensorDetector det(1, /*threshold=*/0);
+  Matrix v(1, 1), m(1, 1);
+  for (int k = 0; k < 50; ++k) {
+    v(0, 0) = 9.0;
+    m(0, 0) = 1.0;
+    EXPECT_EQ(det.observe_and_demote(v, m), 0u);
+  }
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+}
+
+TEST(RobustPrimitives, FindSuspectSensorsMergesStuckAndDead) {
+  std::deque<Matrix> masks;
+  for (int t = 0; t < 3; ++t) {
+    Matrix m(3, 1);
+    m(0, 0) = 1.0;  // node 0 observed
+    m(1, 0) = 0.0;  // node 1 dead across the whole buffer
+    m(2, 0) = t == 1 ? 1.0 : 0.0;  // node 2 sporadic but alive
+    masks.push_back(m);
+  }
+  const std::vector<bool> stuck = {true, false, false};
+  const auto full = core::find_suspect_sensors(stuck, masks, 3, true);
+  EXPECT_EQ(full, (std::vector<std::size_t>{0, 1}));
+  // A half-warm buffer says nothing about death: only stuck flags survive.
+  const auto warm = core::find_suspect_sensors(stuck, masks, 3, false);
+  EXPECT_EQ(warm, (std::vector<std::size_t>{0}));
 }
 
 }  // namespace

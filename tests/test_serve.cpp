@@ -10,6 +10,19 @@
 //  * ServeSnapshot.*   — publish() swaps retrained weights under concurrent
 //    query load with zero dropped and zero non-finite responses. Runs under
 //    TSan via tools/run_tsan.sh.
+//  * ServeShutdown.*   — drain()/destruction delivers a typed outcome to
+//    every request (never a broken promise), including a racy shutdown storm.
+//  * ServeOverload.*   — bounded admission: reject-new and shed-oldest
+//    policies, plus the TSan-covered overload storm against a slow, faulty
+//    engine (sheds + deadline expiries counted, zero non-finite, zero hangs,
+//    recovery once the faults stop).
+//  * ServeDeadline.*   — per-request deadlines fail DEADLINE_EXCEEDED before
+//    consuming a batch slot; explicit 0 overrides the config default.
+//  * ServeBreaker.*    — engine circuit breaker: opens after K consecutive
+//    failures, serves from per-stream fallback (last-good, scrub-to-mean,
+//    all-mean) while open, half-open probe closes it.
+//  * ServePublish.*    — canary-gated publish quarantines a poisoned
+//    candidate without perturbing the serving snapshot.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -18,6 +31,8 @@
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,7 +42,9 @@
 #include "core/rihgcn.hpp"
 #include "data/generators.hpp"
 #include "data/missing.hpp"
+#include "serve/error.hpp"
 #include "serve/event_loop.hpp"
+#include "serve/faulty_engine.hpp"
 #include "serve/server.hpp"
 #include "tensor/rng.hpp"
 
@@ -344,9 +361,9 @@ TEST(ServeSnapshot, PublishValidatesDimensions) {
   core::RihgcnModel other(*s.graphs, s.ds.num_nodes(), s.ds.num_features(),
                           mc);
   EXPECT_THROW(
-      server.publish(std::make_shared<core::InferenceEngine>(other)),
+      (void)server.publish(std::make_shared<core::InferenceEngine>(other)),
       std::invalid_argument);
-  EXPECT_THROW(server.publish(nullptr), std::invalid_argument);
+  EXPECT_THROW((void)server.publish(nullptr), std::invalid_argument);
   EXPECT_EQ(server.stats().snapshot_swaps, 0u);
 }
 
@@ -382,7 +399,8 @@ TEST(ServeSnapshot, SwapUnderLoad) {
           v.data()[i] += 0.01 * static_cast<double>(r + 1);
         }
       }
-      server.publish(std::make_shared<core::InferenceEngine>(*s.model));
+      EXPECT_TRUE(
+          server.publish(std::make_shared<core::InferenceEngine>(*s.model)));
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   });
@@ -413,6 +431,493 @@ TEST(ServeSnapshot, SwapUnderLoad) {
   // Coalescing + batching under concurrency: strictly fewer engine calls
   // than requests.
   EXPECT_LT(st.engine_calls, st.requests);
+}
+
+// ---- graceful shutdown -----------------------------------------------------
+
+// Regression: pre-§15 the destructor abandoned queued requests, so .get()
+// threw a bare std::future_error{broken_promise}. Now every request queued
+// at drain time resolves to a value (final flush) and everything arriving
+// after resolves to ServeError{SHUTTING_DOWN} — a .get() always reports a
+// meaningful, typed outcome.
+TEST(ServeShutdown, QueuedRequestsResolveOnDestruction) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  std::vector<std::future<Matrix>> futs;
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 8;
+    cfg.max_delay_us = 60'000'000;  // only drain's final flush can serve these
+    serve::ForecastServer server(engine, *s.normalizer, cfg);
+    const std::size_t id = server.add_stream();
+    auto [values, mask] = reading_at(s, 0);
+    server.ingest(id, values, mask);
+    futs.push_back(server.forecast_async(id));
+    futs.push_back(server.forecast_async(id));
+  }  // destructor == drain()
+  for (auto& f : futs) {
+    EXPECT_FALSE(f.get().has_non_finite());  // served, not abandoned
+  }
+}
+
+TEST(ServeShutdown, RequestsAfterDrainGetTypedShutdownError) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ForecastServer server(engine, *s.normalizer, serve::ServeConfig{});
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  server.drain();
+  EXPECT_TRUE(server.draining());
+  auto fut = server.forecast_async(id);
+  try {
+    (void)fut.get();
+    FAIL() << "expected ServeError{SHUTTING_DOWN}";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.status(), serve::ServeStatus::kShuttingDown);
+    EXPECT_NE(std::string(e.what()).find("SHUTTING_DOWN"), std::string::npos);
+  }
+  EXPECT_THROW(server.ingest(id, values, mask), serve::ServeError);
+  EXPECT_THROW((void)server.add_stream(), serve::ServeError);
+  EXPECT_EQ(server.stats().aborted_requests, 1u);
+  server.drain();  // idempotent
+}
+
+// Racy shutdown storm (TSan-covered): clients fire requests while another
+// thread drains. Every future must resolve to a finite value or a
+// ServeError — a std::future_error anywhere fails the test.
+TEST(ServeShutdown, RacyDrainNeverBreaksPromises) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_delay_us = 100;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 50;
+  std::atomic<std::size_t> values_seen{0};
+  std::atomic<std::size_t> typed_errors{0};
+  std::atomic<std::size_t> broken{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        try {
+          const Matrix got = server.forecast_async(id).get();
+          EXPECT_FALSE(got.has_non_finite());
+          ++values_seen;
+        } catch (const serve::ServeError&) {
+          ++typed_errors;
+        } catch (const std::future_error&) {
+          ++broken;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  server.drain();  // races the clients above
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(broken.load(), 0u);
+  EXPECT_EQ(values_seen.load() + typed_errors.load(), kClients * kPerClient);
+}
+
+TEST(ServeShutdown, NoReadingsFailsEagerlyWithoutQueueing) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 60'000'000;  // a queued request would hang the test
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto fut = server.forecast_async(id);
+  // Resolved on the calling thread, before any loop round-trip: the request
+  // never occupied a queue slot.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_THROW((void)fut.get(), std::logic_error);
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.requests, 1u);
+  EXPECT_EQ(st.shed_requests, 0u);
+}
+
+// ---- bounded admission -----------------------------------------------------
+
+/// Fixture helper: a server whose admission queue can actually fill up —
+/// flush thresholds parked far away, `max_queue` distinct streams.
+struct OverloadRig {
+  ServeFixture s;
+  std::unique_ptr<serve::ForecastServer> server;
+  std::vector<std::size_t> ids;
+};
+
+OverloadRig make_overload_rig(serve::ShedPolicy policy, std::size_t max_queue,
+                              std::size_t num_streams) {
+  OverloadRig r;
+  r.s = make_fixture();
+  core::InferenceEngine::Options opts;
+  opts.max_batch = 16;
+  auto engine = std::make_shared<core::InferenceEngine>(*r.s.model, opts);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 16;                // never flush on size during the test
+  cfg.max_delay_us = 60'000'000;     // nor on the timer
+  cfg.max_queue = max_queue;
+  cfg.shed_policy = policy;
+  r.server = std::make_unique<serve::ForecastServer>(engine, *r.s.normalizer,
+                                                     cfg);
+  for (std::size_t k = 0; k < num_streams; ++k) {
+    r.ids.push_back(r.server->add_stream(k));
+    auto [values, mask] = reading_at(r.s, 2 * k);
+    r.server->ingest(r.ids[k], values, mask);
+  }
+  return r;
+}
+
+TEST(ServeOverload, RejectNewFailsRequestsBeyondMaxQueue) {
+  OverloadRig r = make_overload_rig(serve::ShedPolicy::kRejectNew,
+                                    /*max_queue=*/4, /*num_streams=*/6);
+  std::vector<std::future<Matrix>> futs;
+  for (std::size_t id : r.ids) futs.push_back(r.server->forecast_async(id));
+  // Requests 4 and 5 needed a new window slot in a full queue: OVERLOADED.
+  for (std::size_t k = 4; k < 6; ++k) {
+    try {
+      (void)futs[k].get();
+      FAIL() << "request " << k << " should have been rejected";
+    } catch (const serve::ServeError& e) {
+      EXPECT_EQ(e.status(), serve::ServeStatus::kOverloaded);
+    }
+  }
+  // Coalescing attaches never count against max_queue.
+  auto coalesced = r.server->forecast_async(r.ids[0]);
+  r.server->drain();  // final flush serves the 4 admitted windows
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_FALSE(futs[k].get().has_non_finite());
+  }
+  EXPECT_FALSE(coalesced.get().has_non_finite());
+  const serve::ServerStats st = r.server->stats();
+  EXPECT_EQ(st.shed_requests, 2u);
+  EXPECT_EQ(st.coalesced_requests, 1u);
+  EXPECT_EQ(st.responses, 5u);
+}
+
+TEST(ServeOverload, ShedOldestEvictsTheFrontOfTheQueue) {
+  OverloadRig r = make_overload_rig(serve::ShedPolicy::kShedOldest,
+                                    /*max_queue=*/4, /*num_streams=*/6);
+  std::vector<std::future<Matrix>> futs;
+  for (std::size_t id : r.ids) futs.push_back(r.server->forecast_async(id));
+  // Streams 0 and 1 were at the front when 4 and 5 arrived: they pay.
+  for (std::size_t k = 0; k < 2; ++k) {
+    try {
+      (void)futs[k].get();
+      FAIL() << "oldest request " << k << " should have been shed";
+    } catch (const serve::ServeError& e) {
+      EXPECT_EQ(e.status(), serve::ServeStatus::kOverloaded);
+    }
+  }
+  r.server->drain();
+  for (std::size_t k = 2; k < 6; ++k) {
+    EXPECT_FALSE(futs[k].get().has_non_finite());
+  }
+  EXPECT_EQ(r.server->stats().shed_requests, 2u);
+}
+
+// The §15 acceptance storm, run under TSan by tools/run_tsan.sh: 4 client
+// threads hammer a deliberately slow, fault-injecting engine behind a tiny
+// queue with tight deadlines. Every request must resolve to a typed outcome
+// (value / OVERLOADED / DEADLINE_EXCEEDED — never a broken promise or a
+// hang), values must be finite even when the engine throws or emits NaN,
+// and once the faults stop the server must recover to genuine engine
+// serving.
+TEST(ServeOverload, OverloadStormShedsFailsFastAndRecovers) {
+  ServeFixture s = make_fixture();
+  core::InferenceEngine::Options opts;
+  opts.max_batch = 2;
+  serve::FaultyEngine::FaultConfig faults;
+  faults.latency_us = 1500;  // ~2x over capacity at the client rates below
+  faults.throw_rate = 0.10;
+  faults.nan_rate = 0.10;
+  faults.seed = 0xdecafULL;
+  auto engine =
+      std::make_shared<serve::FaultyEngine>(*s.model, opts, faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_delay_us = 200;
+  // max_queue below max_batch: only the delay timer flushes, so concurrent
+  // distinct-stream arrivals genuinely contend for the one queue slot.
+  cfg.max_queue = 1;
+  cfg.default_deadline_us = 4'000;
+  cfg.breaker_threshold = 3;
+  cfg.breaker_cooldown_us = 2'000;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 40;
+  std::vector<std::size_t> ids;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ids.push_back(server.add_stream(c));
+    auto [values, mask] = reading_at(s, 3 * c);
+    server.ingest(ids[c], values, mask);
+  }
+  std::atomic<std::size_t> values_seen{0};
+  std::atomic<std::size_t> shed{0};
+  std::atomic<std::size_t> expired{0};
+  std::atomic<std::size_t> other_errors{0};
+  std::atomic<std::size_t> non_finite{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        try {
+          // Every 4th request carries a deadline tighter than one engine
+          // call — under sustained load some of these MUST expire.
+          const std::optional<std::uint64_t> deadline =
+              (q % 4 == 3) ? std::optional<std::uint64_t>(300) : std::nullopt;
+          const Matrix got = server.forecast_async(ids[c], deadline).get();
+          if (got.has_non_finite()) ++non_finite;
+          ++values_seen;
+        } catch (const serve::ServeError& e) {
+          if (e.status() == serve::ServeStatus::kOverloaded) {
+            ++shed;
+          } else if (e.status() == serve::ServeStatus::kDeadlineExceeded) {
+            ++expired;
+          } else {
+            ++other_errors;
+          }
+        }
+        if (q % 8 == 7) {  // fresh ingests keep the windows splitting
+          auto [values, mask] = reading_at(s, (q + 5 * c) % 40);
+          try {
+            server.ingest(ids[c], values, mask);
+          } catch (const serve::ServeError&) {
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  // Zero hangs is implicit (the joins returned); every request resolved.
+  EXPECT_EQ(values_seen.load() + shed.load() + expired.load() +
+                other_errors.load(),
+            kClients * kPerClient);
+  EXPECT_EQ(non_finite.load(), 0u);
+  EXPECT_EQ(other_errors.load(), 0u);
+  const serve::ServerStats mid = server.stats();
+  EXPECT_EQ(mid.shed_requests, shed.load());
+  EXPECT_EQ(mid.deadline_expired, expired.load());
+  EXPECT_GT(mid.shed_requests + mid.deadline_expired, 0u);  // storm really bit
+  // Recovery: with the injected faults a matter of rate, keep asking until
+  // one response is served by the engine itself (fallback counter flat).
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    const std::size_t fallback_before = server.stats().fallback_responses;
+    try {
+      const Matrix got = server.forecast_async(ids[0], /*deadline_us=*/0).get();
+      EXPECT_FALSE(got.has_non_finite());
+      recovered = server.stats().fallback_responses == fallback_before;
+    } catch (const serve::ServeError&) {
+    }
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(recovered);
+}
+
+// ---- deadlines -------------------------------------------------------------
+
+TEST(ServeDeadline, ExpiresInQueueWithTypedError) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 60'000'000;  // the flush timer never saves it
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  auto fut = server.forecast_async(id, /*deadline_us=*/500);
+  try {
+    (void)fut.get();
+    FAIL() << "expected DEADLINE_EXCEEDED";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.status(), serve::ServeStatus::kDeadlineExceeded);
+  }
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.deadline_expired, 1u);
+  EXPECT_EQ(st.engine_calls, 0u);  // never consumed a batch slot
+}
+
+TEST(ServeDeadline, ConfigDefaultAppliesAndExplicitZeroDisables) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 20'000;        // flush well after the default deadline
+  cfg.default_deadline_us = 1'000;  // inherited by plain forecast_async
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  auto inherited = server.forecast_async(id);
+  EXPECT_THROW((void)inherited.get(), serve::ServeError);
+  // Explicit 0 opts this request out of the default: the (slow) flush timer
+  // serves it.
+  auto unbounded = server.forecast_async(id, /*deadline_us=*/0);
+  EXPECT_FALSE(unbounded.get().has_non_finite());
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.deadline_expired, 1u);
+  EXPECT_EQ(st.responses, 1u);
+}
+
+// ---- circuit breaker + fallback --------------------------------------------
+
+TEST(ServeBreaker, OpensServesFallbackAndClosesViaProbe) {
+  ServeFixture s = make_fixture();
+  serve::FaultyEngine::FaultConfig faults;  // forced faults only
+  auto engine = std::make_shared<serve::FaultyEngine>(
+      *s.model, core::InferenceEngine::Options{}, faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 100;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown_us = 200'000;  // long enough to observe OPEN behavior
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  const Matrix baseline = server.forecast(id);  // engine success → last_good
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kClosed);
+
+  engine->force_throw_next(2);
+  const Matrix fb1 = server.forecast(id);
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kClosed);  // 1 of 2
+  const Matrix fb2 = server.forecast(id);
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kOpen);
+  EXPECT_EQ(fb1, baseline);  // degraded path = last good forecast
+  EXPECT_EQ(fb2, baseline);
+
+  // While OPEN, requests are answered from fallback WITHOUT touching the
+  // engine.
+  const std::size_t calls_before = engine->calls();
+  const Matrix fb3 = server.forecast(id);
+  EXPECT_EQ(fb3, baseline);
+  EXPECT_EQ(engine->calls(), calls_before);
+
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      cfg.breaker_cooldown_us + 50'000));
+  const Matrix probe = server.forecast(id);  // half-open probe, succeeds
+  EXPECT_EQ(probe, baseline);                // same window, same engine
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kClosed);
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.engine_failures, 2u);
+  EXPECT_EQ(st.breaker_opens, 1u);
+  EXPECT_EQ(st.breaker_probes, 1u);
+  EXPECT_EQ(st.breaker_closes, 1u);
+  EXPECT_EQ(st.fallback_responses, 3u);
+  EXPECT_EQ(st.responses, 5u);  // every request answered with a value
+}
+
+TEST(ServeBreaker, NanOutputScrubsToMeanThenPrefersLastGood) {
+  ServeFixture s = make_fixture();
+  serve::FaultyEngine::FaultConfig faults;
+  auto engine = std::make_shared<serve::FaultyEngine>(
+      *s.model, core::InferenceEngine::Options{}, faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 100;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+
+  // First forecast EVER is poisoned: no last-good yet, so the engine output
+  // is scrubbed entry-wise — the one NaN becomes the historical mean, the
+  // rest of the matrix is the engine's own (finite) prediction.
+  engine->force_nan_next(1);
+  const Matrix scrubbed = server.forecast(id);
+  EXPECT_FALSE(scrubbed.has_non_finite());
+  EXPECT_DOUBLE_EQ(scrubbed(0, 0), s.normalizer->denormalize(0.0, 0));
+  serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.scrubbed_entries, 1u);
+  EXPECT_EQ(st.fallback_responses, 1u);
+
+  const Matrix good = server.forecast(id);  // clean call → last_good
+  EXPECT_FALSE(good.has_non_finite());
+  engine->force_nan_next(1);
+  const Matrix fb = server.forecast(id);
+  EXPECT_EQ(fb, good);  // last-good now outranks the scrub path
+  st = server.stats();
+  EXPECT_EQ(st.scrubbed_entries, 1u);  // unchanged — no scrub this time
+  EXPECT_EQ(st.fallback_responses, 2u);
+  EXPECT_EQ(st.engine_failures, 2u);
+}
+
+TEST(ServeBreaker, DisabledDegradedServingSurfacesEngineFailure) {
+  ServeFixture s = make_fixture();
+  serve::FaultyEngine::FaultConfig faults;
+  auto engine = std::make_shared<serve::FaultyEngine>(
+      *s.model, core::InferenceEngine::Options{}, faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 100;
+  cfg.degraded_serving = false;  // typed error beats a stale number
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  engine->force_throw_next(1);
+  auto fut = server.forecast_async(id);
+  try {
+    (void)fut.get();
+    FAIL() << "expected ENGINE_FAILURE";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.status(), serve::ServeStatus::kEngineFailure);
+  }
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.engine_failures, 1u);
+  EXPECT_EQ(st.fallback_responses, 0u);
+  EXPECT_EQ(st.responses, 0u);
+}
+
+// ---- canary-gated publish --------------------------------------------------
+
+TEST(ServePublish, CanaryQuarantinesPoisonedCandidate) {
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_us = 100;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  const Matrix before = server.forecast(id);
+
+  // Candidate 1: poisons every output — the canary must catch it.
+  serve::FaultyEngine::FaultConfig nan_always;
+  nan_always.nan_rate = 1.0;
+  EXPECT_FALSE(server.publish(std::make_shared<serve::FaultyEngine>(
+      *s.model, core::InferenceEngine::Options{}, nan_always)));
+  // Candidate 2: throws on every call.
+  serve::FaultyEngine::FaultConfig throw_always;
+  throw_always.throw_rate = 1.0;
+  EXPECT_FALSE(server.publish(std::make_shared<serve::FaultyEngine>(
+      *s.model, core::InferenceEngine::Options{}, throw_always)));
+
+  // Serving is bitwise unaffected: same snapshot, same window, same answer.
+  const Matrix after = server.forecast(id);
+  EXPECT_EQ(after, before);
+  serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.quarantined_publishes, 2u);
+  EXPECT_EQ(st.snapshot_swaps, 0u);
+
+  // A healthy candidate still goes through.
+  EXPECT_TRUE(server.publish(std::make_shared<core::InferenceEngine>(*s.model)));
+  (void)server.forecast(id);  // loop round-trip fences the posted swap
+  st = server.stats();
+  EXPECT_EQ(st.snapshot_swaps, 1u);
+  EXPECT_EQ(st.quarantined_publishes, 2u);
 }
 
 }  // namespace

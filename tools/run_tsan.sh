@@ -5,7 +5,12 @@
 # parallel backward loops, and the serving stack (EventLoop post/timer
 # ordering, ForecastServer coalescing and the loop-owned snapshot swap under
 # concurrent clients + a publishing retrainer — ServeSnapshot.SwapUnderLoad
-# is the DESIGN.md §14 zero-pause-publish gate).
+# is the DESIGN.md §14 zero-pause-publish gate; the §15 fault-tolerance
+# gates ride the same Serve* filter: ServeOverload.OverloadStorm* drives 4
+# client threads against a slow, fault-injecting engine through bounded
+# admission + deadlines + the circuit breaker, and
+# ServeShutdown.RacyDrainNeverBreaksPromises races drain() against live
+# clients — both must show zero races, zero broken promises, zero hangs).
 #
 # Usage: tools/run_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -17,8 +22,10 @@ build_dir=build-tsan
 cmake -B "${build_dir}" -S . -DRIHGCN_SANITIZE=thread >/dev/null
 cmake --build "${build_dir}" -j --target rihgcn_tests
 
-filter="${1:-KernelConformance*:ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*:CsrStructure*:CsrSpmm*:*SparseAndDenseTraining*:TapeArena*:FusedCell*:NumericalGuard*:TrainCheckpoint*:FaultInjection*:OnlineRobust*:OnlineMemo*:Engine*:EventLoop*:Serve*}"
+filter="${1:-KernelConformance*:ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*:CsrStructure*:CsrSpmm*:*SparseAndDenseTraining*:TapeArena*:FusedCell*:NumericalGuard*:TrainCheckpoint*:FaultInjection*:OnlineRobust*:OnlineMemo*:RobustPrimitives*:Engine*:EventLoop*:Serve*}"
 
-TSAN_OPTIONS="halt_on_error=1" \
+# tools/tsan.supp: exception_ptr refcounts live in uninstrumented
+# libstdc++.so; see the file for why that one frame is a false positive.
+TSAN_OPTIONS="halt_on_error=1 suppressions=${repo_root}/tools/tsan.supp" \
 RIHGCN_THREADS=4 \
   "${build_dir}/tests/rihgcn_tests" --gtest_filter="${filter}"
