@@ -19,6 +19,18 @@
 // that, not core count, is what scales QPS with C (acceptance: >= 4x at
 // C = 16 vs C = 1).
 //
+// Worker-pool rows (DESIGN.md §16):
+//   serve_req_ns_wK / serve_p50_ns_wK / serve_p99_ns_wK / serve_qps_wK
+//     (n = 256, 1024; K = 1/2/4/8) — closed-loop run with 8 clients on 8
+//     DISTINCT streams (no coalescing) against a server with K ExecPool
+//     workers; the "workers" JSON field records K. QPS scales with K only
+//     when the host has the cores — the sweep prints the core count so a
+//     flat single-core result reads as the hardware fact it is.
+//   sharded_engine_predict (n = 16384, workers = 8 shards) — one city-scale
+//     window through the cluster-sharded engine.
+// Latency rows carry real min_ns (fastest client-observed sample) and
+// stddev_ns (sample spread); rate rows omit both rather than writing 0.0.
+//
 // Overload & fault-tolerance rows (DESIGN.md §15):
 //   serve_overload_req_ns / serve_overload_p99_ns / serve_overload_qps —
 //     goodput and successful-request tail under a sustained ~2x-capacity
@@ -40,6 +52,7 @@
 // flag drops when the runner noise floor is known.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdint>
 #include <future>
@@ -50,6 +63,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/sharded_engine.hpp"
 #include "harness.hpp"
 #include "serve/error.hpp"
 #include "serve/faulty_engine.hpp"
@@ -109,7 +123,8 @@ ServeEnv make_env(std::size_t n, std::uint64_t seed) {
 
 bench::MicroResult serve_row(const std::string& name, std::size_t n,
                              std::size_t threads, double ns,
-                             double min_ns = 0.0, double stddev_ns = 0.0) {
+                             double min_ns = 0.0, double stddev_ns = 0.0,
+                             std::size_t workers = 0) {
   bench::MicroResult r;
   r.name = name;
   r.n = n;
@@ -117,8 +132,20 @@ bench::MicroResult serve_row(const std::string& name, std::size_t n,
   r.threads = threads;
   r.min_ns = min_ns;
   r.stddev_ns = stddev_ns;
+  r.workers = workers;
   r.informational = true;  // fresh rows: one PR without a trusted baseline
   return r;
+}
+
+/// Sample stddev of a latency vector (0 for fewer than two samples).
+double sample_stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (const double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double ss = 0.0;
+  for (const double x : v) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
 }
 
 // Deterministic program fact (shed count, breaker transitions, ...):
@@ -231,11 +258,17 @@ void run_serve_load(const bench::BenchOptions& opts,
         static_cast<double>(after.engine_calls - before.engine_calls) /
         static_cast<double>(count);
     if (clients == 1) qps_c1 = qps;
+    // min/stddev come from the client-observed latency samples; the qps row
+    // is a derived rate with no per-sample spread, so it omits them.
+    const double lat_min = all.front();
+    const double lat_sd = sample_stddev(all);
     const std::string suffix = "_c" + std::to_string(clients);
-    results.push_back(
-        serve_row("serve_req_ns" + suffix, kNodes, clients, 1e9 / qps));
-    results.push_back(serve_row("serve_p50_ns" + suffix, kNodes, clients, p50));
-    results.push_back(serve_row("serve_p99_ns" + suffix, kNodes, clients, p99));
+    results.push_back(serve_row("serve_req_ns" + suffix, kNodes, clients,
+                                1e9 / qps, lat_min, lat_sd));
+    results.push_back(serve_row("serve_p50_ns" + suffix, kNodes, clients, p50,
+                                lat_min, lat_sd));
+    results.push_back(serve_row("serve_p99_ns" + suffix, kNodes, clients, p99,
+                                lat_min, lat_sd));
     results.push_back(serve_row("serve_qps" + suffix, kNodes, clients, qps));
     std::printf("%-8zu %10.0f %12.0f %12.0f %12.3f\n", clients, qps,
                 p50 / 1e3, p99 / 1e3, calls_per_req);
@@ -243,6 +276,126 @@ void run_serve_load(const bench::BenchOptions& opts,
       std::printf("  QPS scaling c16/c1: %.2fx (coalescing)\n", qps / qps_c1);
     }
   }
+}
+
+// §16 worker-pool sweep: 8 clients on 8 DISTINCT streams (no coalescing
+// relief — every request is its own batch window) against a pooled server
+// at K = 1/2/4/8 ExecPool workers. This is the row family the "parallel
+// execution layer" PR exists for: on a multi-core host QPS should scale
+// with K until cores or max_batch run out; on a single-core host the sweep
+// is honest about being flat (the workers field records K either way).
+void run_worker_sweep(const bench::BenchOptions& opts,
+                      std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kClients = 8;
+  const double duration_sec = opts.full ? 2.0 : 0.8;
+  for (const std::size_t n : {std::size_t{256}, std::size_t{1024}}) {
+    ServeEnv env = make_env(n, opts.seed);
+    core::InferenceEngine::Options eopts;
+    eopts.max_batch = kClients;
+    auto engine = std::make_shared<core::InferenceEngine>(*env.model, eopts);
+    std::printf("\nWorker-pool sweep, N=%zu, %zu clients on %zu streams, "
+                "%.1fs per point (host cores: %u)\n",
+                n, kClients, kClients, duration_sec,
+                std::thread::hardware_concurrency());
+    std::printf("%-8s %10s %12s %12s\n", "workers", "QPS", "p50_us", "p99_us");
+    double qps_w1 = 0.0;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+      serve::ServeConfig cfg;
+      cfg.max_batch = kClients;
+      cfg.max_delay_us = 200;
+      cfg.max_queue = 64;
+      cfg.num_workers = workers;
+      serve::ForecastServer server(engine, *env.normalizer, cfg);
+      std::vector<std::size_t> ids;
+      for (std::size_t c = 0; c < kClients; ++c) {
+        ids.push_back(server.add_stream(c));
+        seed_stream(server, env, ids.back(), 3 + c);
+        (void)server.forecast(ids.back());  // warmup: plan + workspace caches
+      }
+      std::vector<std::vector<double>> lat(kClients);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto deadline = t0 + std::chrono::duration<double>(duration_sec);
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          while (std::chrono::steady_clock::now() < deadline) {
+            const auto q0 = std::chrono::steady_clock::now();
+            const Matrix pred = server.forecast(ids[c]);
+            const auto q1 = std::chrono::steady_clock::now();
+            if (pred.has_non_finite()) std::abort();
+            lat[c].push_back(
+                std::chrono::duration<double, std::nano>(q1 - q0).count());
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double elapsed = bench::seconds_since(t0);
+      std::vector<double> all;
+      for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      const std::size_t count = all.size();
+      if (count == 0) continue;  // pathological run; leave the rows out
+      const double qps = static_cast<double>(count) / elapsed;
+      const double p50 = all[count / 2];
+      const double p99 = all[std::min(count - 1, count * 99 / 100)];
+      const double lat_min = all.front();
+      const double lat_sd = sample_stddev(all);
+      if (workers == 1) qps_w1 = qps;
+      const std::string suffix = "_w" + std::to_string(workers);
+      results.push_back(serve_row("serve_req_ns" + suffix, n, kClients,
+                                  1e9 / qps, lat_min, lat_sd, workers));
+      results.push_back(serve_row("serve_p50_ns" + suffix, n, kClients, p50,
+                                  lat_min, lat_sd, workers));
+      results.push_back(serve_row("serve_p99_ns" + suffix, n, kClients, p99,
+                                  lat_min, lat_sd, workers));
+      results.push_back(serve_row("serve_qps" + suffix, n, kClients, qps, 0.0,
+                                  0.0, workers));
+      std::printf("%-8zu %10.0f %12.0f %12.0f\n", workers, qps, p50 / 1e3,
+                  p99 / 1e3);
+      if (workers == 8 && qps_w1 > 0.0) {
+        std::printf("  QPS scaling w8/w1: %.2fx\n", qps / qps_w1);
+      }
+    }
+  }
+}
+
+// §16 sharded city-scale forward: one N = 16384 window through the
+// cluster-sharded engine (8 shards over the pruned k-NN graph pipeline).
+// Few reps — the fixture build alone dominates — so min/stddev come from a
+// short hand-rolled sample rather than the growing-window harness.
+void run_sharded_predict(const bench::BenchOptions& opts,
+                         std::vector<bench::MicroResult>& results) {
+  constexpr std::size_t kNodes = 16384;
+  constexpr std::size_t kShards = 8;
+  std::printf("\nShardedEngine city-scale forward, N=%zu, %zu shards\n",
+              kNodes, kShards);
+  ServeEnv env = make_env(kNodes, opts.seed);
+  core::ShardedEngine::Options sopts;
+  sopts.num_shards = kShards;
+  core::ShardedEngine sharded(*env.model, sopts);
+  const data::Window w = env.sampler->make_window(7);
+  {
+    const Matrix pred = sharded.predict(w);  // warmup
+    if (pred.has_non_finite()) std::abort();
+  }
+  const std::size_t reps = opts.full ? 7 : 3;
+  std::vector<double> samples;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Matrix pred = sharded.predict(w);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (pred.has_non_finite()) std::abort();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  const double median = samples[samples.size() / 2];
+  results.push_back(serve_row("sharded_engine_predict", kNodes, 1, median,
+                              samples.front(), sample_stddev(samples),
+                              kShards));
+  std::printf("  %.1f ms/predict (min %.1f ms over %zu reps)\n", median / 1e6,
+              samples.front() / 1e6, reps);
 }
 
 // Sustained overload at roughly 2x capacity (DESIGN.md §15): a FaultyEngine
@@ -305,11 +458,14 @@ void run_overload_bench(const bench::BenchOptions& opts,
   const serve::ServerStats after = server.stats();
   const double qps = static_cast<double>(count) / elapsed;
   const double p99 = all[std::min(count - 1, count * 99 / 100)];
+  const double lat_min = all.front();
+  const double lat_sd = sample_stddev(all);
   const std::size_t shed = after.shed_requests - before.shed_requests;
   const std::size_t expired = after.deadline_expired - before.deadline_expired;
   results.push_back(serve_row("serve_overload_req_ns", kNodes, kClients,
-                              1e9 / qps));
-  results.push_back(serve_row("serve_overload_p99_ns", kNodes, kClients, p99));
+                              1e9 / qps, lat_min, lat_sd));
+  results.push_back(serve_row("serve_overload_p99_ns", kNodes, kClients, p99,
+                              lat_min, lat_sd));
   results.push_back(serve_row("serve_overload_qps", kNodes, kClients, qps));
   std::printf("\nOverload storm (~2x capacity, 2ms engine, queue=2, "
               "deadline=5ms), N=%zu\n", kNodes);
@@ -360,8 +516,12 @@ void run_fallback_bench(const bench::BenchOptions& opts,
   const double mean = static_cast<double>(count) /
                       bench::seconds_since(t0);
   const double p99 = lat[std::min(count - 1, count * 99 / 100)];
-  results.push_back(serve_row("serve_fallback_req_ns", kNodes, 1, 1e9 / mean));
-  results.push_back(serve_row("serve_fallback_p99_ns", kNodes, 1, p99));
+  const double lat_min = lat.front();
+  const double lat_sd = sample_stddev(lat);
+  results.push_back(serve_row("serve_fallback_req_ns", kNodes, 1, 1e9 / mean,
+                              lat_min, lat_sd));
+  results.push_back(serve_row("serve_fallback_p99_ns", kNodes, 1, p99,
+                              lat_min, lat_sd));
   std::printf("\nBreaker-open fallback path (last-good, zero engine calls), "
               "N=%zu\n", kNodes);
   std::printf("  %.0f req/s, p50 %.1f us, p99 %.1f us\n", mean,
@@ -504,6 +664,8 @@ int main(int argc, char** argv) {
   std::vector<bench::MicroResult> results;
   run_predict_compare(opts, results);
   run_serve_load(opts, results);
+  run_worker_sweep(opts, results);
+  run_sharded_predict(opts, results);
   run_overload_bench(opts, results);
   run_fallback_bench(opts, results);
   run_fault_counters(opts, results);

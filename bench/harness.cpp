@@ -278,17 +278,28 @@ void write_micro_json(const std::string& path,
   out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MicroResult& r = results[i];
-    char line[384];
+    char line[512];
     std::string extra;
+    // min/stddev are diagnostic; a 0.0/0.0 pair means "not measured"
+    // (counters, single-shot rows) — omit it rather than emit fake zeros.
+    if (r.min_ns != 0.0 || r.stddev_ns != 0.0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), ", \"min_ns\": %.1f, \"stddev_ns\": %.1f",
+                    r.min_ns, r.stddev_ns);
+      extra += buf;
+    }
+    if (r.workers != 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ", \"workers\": %zu", r.workers);
+      extra += buf;
+    }
     if (!r.kind.empty()) extra += ", \"kind\": \"" + r.kind + "\"";
     if (r.informational) extra += ", \"informational\": true";
     std::snprintf(line, sizeof(line),
                   "  {\"name\": \"%s\", \"n\": %zu, \"density\": %.6f, "
-                  "\"ns_per_op\": %.1f, \"threads\": %zu, \"min_ns\": %.1f, "
-                  "\"stddev_ns\": %.1f%s}%s\n",
+                  "\"ns_per_op\": %.1f, \"threads\": %zu%s}%s\n",
                   r.name.c_str(), r.n, r.density, r.ns_per_op, r.threads,
-                  r.min_ns, r.stddev_ns, extra.c_str(),
-                  i + 1 < results.size() ? "," : "");
+                  extra.c_str(), i + 1 < results.size() ? "," : "");
     out << line;
   }
   out << "]\n";

@@ -12,23 +12,34 @@ namespace rihgcn::core {
 
 namespace {
 
-/// C += A·B on raw f32 buffers, threaded with the same fixed-chunk rule as
-/// fmatmul_accumulate (thread-count invariant; each output row is computed
-/// whole inside one kernel call, so results are independent of chunking).
+/// C += A·B on raw f32 buffers. `threads` is the Options::num_threads
+/// scheduling hint: 0 = adaptive (dispatch only past the ParallelTuning
+/// flop thresholds, the fixed-chunk fmatmul_accumulate rule), 1 = serial,
+/// K > 1 = always dispatch with row grain ceil(rows / K). Thread-count
+/// invariant either way: each output row is computed whole inside one
+/// kernel call, so results are independent of chunking.
 void gemm_acc(const float* a, std::size_t rows, std::size_t k, const float* b,
-              std::size_t m, float* c) {
+              std::size_t m, float* c, std::size_t threads) {
   if (rows == 0 || k == 0 || m == 0) return;
   const simd::Kernels& kern = simd::active_kernels();
-  const std::size_t flops = rows * k * m;
-  if (flops < ParallelTuning::min_matmul_flops ||
-      flops < ParallelTuning::serial_cutover_flops ||
-      ThreadPool::in_parallel_region()) {
+  bool dispatch = false;
+  std::size_t grain = ParallelTuning::matmul_row_grain;
+  if (threads != 1 && !ThreadPool::in_parallel_region()) {
+    if (threads == 0) {
+      const std::size_t flops = rows * k * m;
+      dispatch = flops >= ParallelTuning::min_matmul_flops &&
+                 flops >= ParallelTuning::serial_cutover_flops;
+    } else {
+      dispatch = true;
+      grain = (rows + threads - 1) / threads;
+    }
+  }
+  if (!dispatch) {
     kern.smatmul_rows(a, b, c, k, m, 0, rows);
     return;
   }
   ThreadPool::global().parallel_for(
-      0, rows, ParallelTuning::matmul_row_grain,
-      [&](std::size_t i0, std::size_t i1) {
+      0, rows, grain, [&](std::size_t i0, std::size_t i1) {
         kern.smatmul_rows(a, b, c, k, m, i0, i1);
       });
 }
@@ -48,13 +59,18 @@ FMatrix to_f32(const Matrix& m) { return FMatrix::from(m); }
 
 // ---- compilation -----------------------------------------------------------
 
-InferenceEngine::InferenceEngine(const RihgcnModel& model, Options options) {
+InferenceEngine::InferenceEngine(const RihgcnModel& model, Options options)
+    : InferenceEngine(model, options, nullptr, 0) {}
+
+InferenceEngine::InferenceEngine(const RihgcnModel& model, Options options,
+                                 const HgcnBlock::SparseLaps* sub_laps,
+                                 std::size_t sub_n) {
   // parameters() and the module accessors are logically const (a forward
   // compile never mutates the model); the Module interface just predates a
   // const overload.
   RihgcnModel& m = const_cast<RihgcnModel&>(model);
   const RihgcnConfig& cfg = m.config_;
-  n_ = m.graphs_.num_nodes();
+  n_ = sub_laps != nullptr ? sub_n : m.graphs_.num_nodes();
   f_ = m.num_features_;
   lookback_ = cfg.lookback;
   horizon_ = cfg.horizon;
@@ -67,11 +83,20 @@ InferenceEngine::InferenceEngine(const RihgcnModel& model, Options options) {
   z_width_ = (bidirectional_ ? 2 : 1) * (gcn_dim_ + lstm_dim_);
   steps_per_day_ = m.graphs_.steps_per_day();
   max_batch_ = options.max_batch;
+  num_threads_ = options.num_threads;
   if (max_batch_ == 0) {
     throw std::invalid_argument("InferenceEngine: max_batch must be >= 1");
   }
 
-  compile_graph_ops(m);
+  if (sub_laps != nullptr) {
+    if (n_ == 0) {
+      throw std::invalid_argument(
+          "InferenceEngine: sub-graph node count must be >= 1");
+    }
+    compile_subgraph_ops(*sub_laps);
+  } else {
+    compile_graph_ops(m);
+  }
 
   const std::size_t per_gcn = cheb_order_ + 1;  // K thetas + bias
   const std::size_t num_temporal = temporal_ops_.size();
@@ -196,6 +221,46 @@ void InferenceEngine::compile_graph_ops(const RihgcnModel& model) {
   }
 }
 
+void InferenceEngine::compile_subgraph_ops(const HgcnBlock::SparseLaps& laps) {
+  // Same path-selection rule as compile_graph_ops, applied to the cluster's
+  // sub-CSRs (density is judged on the SUB-graph: a shard of a sparse
+  // city-scale graph can be locally dense enough for the transposed GEMM).
+  // Both apply forms accumulate each output element in the same ascending-k
+  // FMA order, so the choice never moves a bit.
+  auto make_sub_op = [&](const std::optional<CsrMatrix>& cached) {
+    if (!cached.has_value()) {
+      throw std::invalid_argument(
+          "InferenceEngine: sub-graph compilation requires every Laplacian "
+          "in CSR form");
+    }
+    GraphOp op;
+    if (n_ <= 2048 && cached->nnz() * 8 > n_ * n_) {
+      op.dense_t = true;
+      FMatrix t(n_, n_);
+      const auto& ptr = cached->row_ptr();
+      const auto& idx = cached->col_idx();
+      const auto& val = cached->values();
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t p = ptr[i]; p < ptr[i + 1]; ++p) {
+          t(idx[p], i) = static_cast<float>(val[p]);
+        }
+      }
+      op.lapT = std::move(t);
+    } else {
+      op.sparse = true;
+      op.csr = FCsrMatrix::from(*cached);
+      op.csr_batch = FCsrMatrix::block_diagonal(op.csr, max_batch_);
+    }
+    return op;
+  };
+  geo_op_ = make_sub_op(laps.geo);
+  temporal_ops_.clear();
+  temporal_ops_.reserve(laps.temporal.size());
+  for (const std::optional<CsrMatrix>& t : laps.temporal) {
+    temporal_ops_.push_back(make_sub_op(t));
+  }
+}
+
 InferenceEngine::GcnPlan InferenceEngine::compile_gcn(
     const std::vector<ad::Parameter*>& params, std::size_t offset,
     std::size_t order) {
@@ -255,16 +320,26 @@ void InferenceEngine::apply_lap(const GraphOp& g, const float* x, float* out,
     const std::size_t* ptr = g.csr_batch.row_ptr().data();
     const std::size_t* idx = g.csr_batch.col_idx().data();
     const float* val = g.csr_batch.values().data();
-    const std::size_t work = g.csr.nnz() * batch * width;
-    if (work < ParallelTuning::min_matmul_flops ||
-        work < ParallelTuning::serial_cutover_flops ||
-        ThreadPool::in_parallel_region()) {
+    // Same num_threads scheduling contract as gemm_acc: 0 adaptive on the
+    // nnz-proportional work estimate, 1 serial, K always-dispatch.
+    bool dispatch = false;
+    std::size_t grain = ParallelTuning::matmul_row_grain;
+    if (num_threads_ != 1 && !ThreadPool::in_parallel_region()) {
+      if (num_threads_ == 0) {
+        const std::size_t work = g.csr.nnz() * batch * width;
+        dispatch = work >= ParallelTuning::min_matmul_flops &&
+                   work >= ParallelTuning::serial_cutover_flops;
+      } else {
+        dispatch = true;
+        grain = (rows + num_threads_ - 1) / num_threads_;
+      }
+    }
+    if (!dispatch) {
       kern.sspmm_rows(ptr, idx, val, x, out, width, 0, rows);
       return;
     }
     ThreadPool::global().parallel_for(
-        0, rows, ParallelTuning::matmul_row_grain,
-        [&](std::size_t i0, std::size_t i1) {
+        0, rows, grain, [&](std::size_t i0, std::size_t i1) {
           kern.sspmm_rows(ptr, idx, val, x, out, width, i0, i1);
         });
     return;
@@ -297,13 +372,14 @@ void InferenceEngine::run_gcn(const GcnPlan& gcn, const GraphOp& graph,
   const std::size_t rows = batch * n_;
   // Chebyshev recurrence z_0 = x, z_1 = L̃x, z_k = 2 L̃ z_{k-1} − z_{k-2},
   // accumulating Σ z_k Θ_k into `out` (caller zeroes it) as each term lands.
-  gemm_acc(x, rows, in_dim, gcn.theta[0].data(), gcn_dim_, out.data());
+  gemm_acc(x, rows, in_dim, gcn.theta[0].data(), gcn_dim_, out.data(),
+           num_threads_);
   const float* prev2 = x;
   const float* prev = nullptr;
   if (cheb_order_ > 1) {
     apply_lap(graph, x, ws.cheb_a.data(), batch, in_dim, ws);
     gemm_acc(ws.cheb_a.data(), rows, in_dim, gcn.theta[1].data(), gcn_dim_,
-             out.data());
+             out.data(), num_threads_);
     prev = ws.cheb_a.data();
   }
   for (std::size_t k = 2; k < cheb_order_; ++k) {
@@ -316,7 +392,8 @@ void InferenceEngine::run_gcn(const GcnPlan& gcn, const GraphOp& graph,
     for (std::size_t i = 0; i < rows * in_dim; ++i) {
       dst[i] = 2.0f * p[i] - prev2[i];
     }
-    gemm_acc(dst, rows, in_dim, gcn.theta[k].data(), gcn_dim_, out.data());
+    gemm_acc(dst, rows, in_dim, gcn.theta[k].data(), gcn_dim_, out.data(),
+             num_threads_);
     prev2 = prev;
     prev = dst;
   }
@@ -396,16 +473,17 @@ void InferenceEngine::run_direction(const DirPlan& dir, Workspace& ws,
       std::memcpy(rin + r * (p + f) + p, mk + r * f, f * sizeof(float));
     }
     std::fill(ws.gates.data(), ws.gates.data() + rows * gates_w, 0.0f);
-    gemm_acc(rin, rows, p + f, dir.w_ih.data(), gates_w, ws.gates.data());
+    gemm_acc(rin, rows, p + f, dir.w_ih.data(), gates_w, ws.gates.data(),
+             num_threads_);
     if (cell_ == nn::CellKind::kLstm) {
       gemm_acc(ws.h.data(), rows, hdim, dir.w_hh.data(), gates_w,
-               ws.gates.data());
+               ws.gates.data(), num_threads_);
       add_bias_rows(ws.gates.data(), dir.bias.data(), rows, gates_w);
       kern.slstm_step(ws.gates.data(), ws.c.data(), ws.h.data(), rows, hdim);
     } else {  // GRU: [r | z | n], n = tanh(xn + r ⊙ hn + bn)
       std::fill(ws.gates_h.data(), ws.gates_h.data() + rows * gates_w, 0.0f);
       gemm_acc(ws.h.data(), rows, hdim, dir.w_hh.data(), gates_w,
-               ws.gates_h.data());
+               ws.gates_h.data(), num_threads_);
       kern.sgru_step(ws.gates.data(), ws.gates_h.data(), dir.bias.data(),
                      ws.h.data(), rows, hdim);
     }
@@ -421,7 +499,7 @@ void InferenceEngine::run_direction(const DirPlan& dir, Workspace& ws,
                   zw * sizeof(float));
     }
     std::fill(ws.est.data(), ws.est.data() + rows * f, 0.0f);
-    gemm_acc(zd, rows, zw, dir.est_w.data(), f, ws.est.data());
+    gemm_acc(zd, rows, zw, dir.est_w.data(), f, ws.est.data(), num_threads_);
     add_bias_rows(ws.est.data(), dir.est_b.data(), rows, f);
     have_est = true;
   }
@@ -481,7 +559,7 @@ const FMatrix& InferenceEngine::predict_batch(
     for (std::size_t t = 0; t < lookback_; ++t) {
       gemm_acc(ws.zcat[t].data(), rows, z_width_,
                head_w_.data() + t * z_width_ * horizon_, horizon_,
-               ws.pred.data());
+               ws.pred.data(), num_threads_);
     }
     add_bias_rows(ws.pred.data(), head_b_.data(), rows, horizon_);
   } else {
@@ -490,7 +568,8 @@ const FMatrix& InferenceEngine::predict_batch(
     float* col = ws.cheb_p.data();  // free at head time; ≥ rows floats
     for (std::size_t t = 0; t < lookback_; ++t) {
       std::fill(col, col + rows, 0.0f);
-      gemm_acc(ws.zcat[t].data(), rows, z_width_, attn_w_.data(), 1, col);
+      gemm_acc(ws.zcat[t].data(), rows, z_width_, attn_w_.data(), 1, col,
+               num_threads_);
       const float ab = attn_b_.data()[0];
       for (std::size_t r = 0; r < rows; ++r) {
         ws.scores(r, t) = col[r] + ab;
@@ -516,7 +595,7 @@ const FMatrix& InferenceEngine::predict_batch(
       }
     }
     gemm_acc(ws.mixed.data(), rows, z_width_, head_w_.data(), horizon_,
-             ws.pred.data());
+             ws.pred.data(), num_threads_);
     add_bias_rows(ws.pred.data(), head_b_.data(), rows, horizon_);
   }
   return ws.pred;

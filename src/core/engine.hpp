@@ -46,6 +46,14 @@ class InferenceEngine {
     /// Largest batch predict_batch() accepts; sizes the Workspace buffers
     /// and the block-diagonal batched Laplacians.
     std::size_t max_batch = 8;
+    /// Intra-batch / intra-graph row-sharding of the f32 GEMM and SpMM
+    /// panels (DESIGN.md §16). 0 = adaptive: dispatch to the global
+    /// ThreadPool only when an op clears the ParallelTuning flop thresholds
+    /// (the pre-§16 behaviour). 1 = always serial. K > 1 = always dispatch,
+    /// row grain ceil(rows / K). Pure scheduling: every output row is
+    /// computed whole inside one kernel call with a fixed accumulation
+    /// order, so results are bitwise identical for every value.
+    std::size_t num_threads = 0;
   };
 
   /// Compiles a frozen snapshot of `model` (which may keep training or be
@@ -118,6 +126,18 @@ class InferenceEngine {
   }
 
  private:
+  /// ShardedEngine (core/sharded_engine.hpp) compiles one sub-engine per
+  /// graph cluster through the private sub-graph constructor below.
+  friend class ShardedEngine;
+
+  /// Sub-graph compilation: same frozen weights as `model`, but the graph
+  /// ops come from `sub_laps` (every Laplacian in CSR form, rows and columns
+  /// restricted to one cluster's owned ∪ halo nodes) over `sub_n` nodes.
+  /// Windows fed to predict_batch must then be sub_n x F — the caller
+  /// (ShardedEngine) gathers them with data::take_rows.
+  InferenceEngine(const RihgcnModel& model, Options options,
+                  const HgcnBlock::SparseLaps* sub_laps, std::size_t sub_n);
+
   /// One graph's Laplacian, compiled into whichever apply form is cheapest
   /// (chosen once, per graph, at compile time):
   ///   * CSR SpMM (plus the block-diagonal batched form) for genuinely
@@ -156,6 +176,9 @@ class InferenceEngine {
   };
 
   void compile_graph_ops(const RihgcnModel& model);
+  /// Graph ops from a cluster's sub-Laplacian cache (every graph must be
+  /// CSR-covered; throws std::invalid_argument otherwise).
+  void compile_subgraph_ops(const HgcnBlock::SparseLaps& laps);
   [[nodiscard]] static GcnPlan compile_gcn(
       const std::vector<ad::Parameter*>& params, std::size_t offset,
       std::size_t order);
@@ -183,6 +206,7 @@ class InferenceEngine {
   std::size_t z_width_ = 0;
   std::size_t steps_per_day_ = 0;
   std::size_t max_batch_ = 0;
+  std::size_t num_threads_ = 0;
   bool bidirectional_ = false;
   bool attention_head_ = false;
   nn::CellKind cell_ = nn::CellKind::kLstm;

@@ -136,6 +136,10 @@ class RihgcnModel : public ForecastModel, public ClusterTrainable {
   /// f32 snapshot of this model — it reads the module tree and the sparse
   /// Laplacian cache directly at compile time, never mutating anything.
   friend class InferenceEngine;
+  /// ShardedEngine (core/sharded_engine.hpp) replicates the
+  /// prepare_clusters() sub-Laplacian recipe at serve-compile time — it
+  /// reads graphs_, sparse_laps_ and config_ the same read-only way.
+  friend class ShardedEngine;
   RihgcnModel(const HeterogeneousGraphs& graphs, std::size_t num_nodes,
               std::size_t num_features, const RihgcnConfig& config);
 

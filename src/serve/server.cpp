@@ -24,6 +24,12 @@ ForecastServer::ForecastServer(std::shared_ptr<core::InferenceEngine> engine,
                                            engine->max_batch());
   cfg_.max_queue = std::max<std::size_t>(1, cfg_.max_queue);
   cfg_.breaker_threshold = std::max<std::size_t>(1, cfg_.breaker_threshold);
+  // Environment override for the execution layer; set-but-invalid throws
+  // (the RIHGCN_THREADS contract — a typo must not silently serve inline).
+  cfg_.num_workers = serve_workers_from_env(cfg_.num_workers);
+  if (cfg_.num_workers > 0) {
+    exec_pool_ = std::make_unique<ExecPool>(cfg_.num_workers);
+  }
   // The deepest fallback: every entry the historical mean of the target
   // feature (normalized 0 denormalized) — finite by construction.
   mean_forecast_ = Matrix(n_, horizon_);
@@ -32,6 +38,10 @@ ForecastServer::ForecastServer(std::shared_ptr<core::InferenceEngine> engine,
             mean);
   auto snap = std::make_shared<Snapshot>();
   snap->ws = engine->make_workspace();
+  snap->worker_ws.reserve(cfg_.num_workers);
+  for (std::size_t w = 0; w < cfg_.num_workers; ++w) {
+    snap->worker_ws.push_back(engine->make_workspace());
+  }
   snap->engine = std::move(engine);
   snapshot_ = std::move(snap);  // loop not running yet — plain write is safe
   loop_.start();
@@ -44,13 +54,23 @@ void ForecastServer::drain() {
   // performs the quiesce sequence.
   draining_.store(true, std::memory_order_release);
   std::call_once(drain_once_, [this] {
-    loop_.post([this] {
+    // Rendezvous before stopping the loop: a pooled flush may be in flight,
+    // and its workers post completions INTO the loop — stopping first would
+    // orphan them (and their waiters). The loop fulfills the quiesce
+    // promise only once loop_draining_ is set, the in-flight flush (if any)
+    // has settled, and the final inline flush has answered everything still
+    // admitted; only then is it safe to stop and join.
+    auto quiesced = std::make_shared<std::promise<void>>();
+    std::future<void> quiesce_done = quiesced->get_future();
+    loop_.post([this, quiesced] {
       // Everything admitted before this closure is in pending_ (FIFO);
       // everything after it sees loop_draining_ and resolves to
       // SHUTTING_DOWN inside enqueue_request.
       loop_draining_ = true;
-      flush();
+      drain_quiesce_ = quiesced;
+      maybe_finish_drain();
     });
+    quiesce_done.wait();
     loop_.stop();
     loop_.join();
     // Closures that raced past the loop's exit still resolve their
@@ -465,6 +485,10 @@ void ForecastServer::note_engine_result(bool success,
 }
 
 void ForecastServer::flush() {
+  // Pipelined mode: while batch t executes on the workers the admission
+  // queue keeps filling; its completion handler re-enters flush(), so a
+  // trigger landing mid-execution simply defers to that.
+  if (inflight_ != nullptr) return;
   if (pending_.empty()) return;
   if (flush_timer_ != 0) {
     loop_.cancel(flush_timer_);
@@ -473,6 +497,17 @@ void ForecastServer::flush() {
   // Expired requests fail fast, BEFORE any batch slot is assigned.
   fail_expired(EventLoop::Clock::now());
   if (pending_.empty()) return;
+  // The final drain flush always runs inline: drain() stops the loop right
+  // after the quiesce rendezvous, and an async dispatch would have nowhere
+  // to post its completions.
+  if (exec_pool_ == nullptr || loop_draining_) {
+    flush_inline();
+  } else {
+    dispatch_flush();
+  }
+}
+
+void ForecastServer::flush_inline() {
   // The whole flush runs against ONE snapshot: a publish() racing us posts
   // its swap behind this closure, so this batch finishes on the engine it
   // started on and the swap lands before the next flush.
@@ -556,6 +591,166 @@ void ForecastServer::flush() {
   pending_.clear();
 }
 
+void ForecastServer::dispatch_flush() {
+  auto st = std::make_shared<FlushState>();
+  // One snapshot for the whole flush, exactly like the inline path: a
+  // racing publish() retargets snapshot_ for the NEXT flush; this one keeps
+  // the engine (and the per-worker workspaces) it started with alive via
+  // the shared_ptr.
+  st->snap = snapshot_;
+  st->entries = std::move(pending_);
+  pending_.clear();
+  const std::size_t total = st->entries.size();
+  const std::size_t workers = exec_pool_->size();
+  // Fixed deterministic split: ceil(total / K) windows per sub-batch,
+  // capped at the engine's max_batch; chunk c runs on worker c mod K. A
+  // pure function of (total, K, max_batch) — never of timing — and since
+  // every engine op is row-/block-local, per-window outputs are bitwise
+  // identical to the inline flush regardless of the split.
+  st->chunk_size = std::max<std::size_t>(
+      1, std::min(st->snap->engine->max_batch(),
+                  (total + workers - 1) / workers));
+  const std::size_t nchunks = (total + st->chunk_size - 1) / st->chunk_size;
+  st->chunk_ptrs.resize(nchunks);
+  st->results.resize(nchunks);
+  // Circuit-breaker gate per chunk, evaluated in admission order at
+  // dispatch time: OPEN bypasses the engine until the cooldown elapses, at
+  // which point exactly ONE half-open probe chunk goes through; the probe's
+  // outcome lands with the completions (note_engine_result in chunk order).
+  std::size_t dispatched = 0;
+  const EventLoop::Clock::time_point now = EventLoop::Clock::now();
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    bool engine_allowed = true;
+    if (breaker_ == BreakerState::kOpen) {
+      if (now >= breaker_retry_at_) {
+        set_breaker(BreakerState::kHalfOpen);
+        breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        engine_allowed = false;
+      }
+    }
+    if (!engine_allowed) continue;  // results[c].executed stays false
+    st->results[c].executed = true;
+    const std::size_t begin = c * st->chunk_size;
+    const std::size_t count = std::min(st->chunk_size, total - begin);
+    std::vector<const data::Window*>& ptrs = st->chunk_ptrs[c];
+    ptrs.reserve(count);
+    for (std::size_t b = 0; b < count; ++b) {
+      ptrs.push_back(&st->entries[begin + b].window);
+    }
+    ++dispatched;
+  }
+  pooled_flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (dispatched == 0) {
+    // Breaker OPEN gated every chunk — nothing leaves the loop thread.
+    finish_flush(st);
+    return;
+  }
+  st->chunks_left = dispatched;
+  inflight_ = st;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    if (!st->results[c].executed) continue;
+    exec_pool_->submit(c % workers, [this, st, c] { run_chunk(st, c); });
+  }
+}
+
+void ForecastServer::run_chunk(const std::shared_ptr<FlushState>& st,
+                               std::size_t chunk) {
+  // WORKER thread. Touches only this chunk's slots of the FlushState and
+  // this worker's private workspace; everything it reads (entries, snap) is
+  // frozen for the lifetime of the flush. The posted completion closure is
+  // what publishes the writes to the loop thread.
+  ChunkResult& r = st->results[chunk];
+  const std::vector<const data::Window*>& ptrs = st->chunk_ptrs[chunk];
+  const std::size_t count = ptrs.size();
+  core::InferenceEngine::Workspace& ws =
+      st->snap->worker_ws[chunk % exec_pool_->size()];
+  try {
+    const FMatrix& out =
+        st->snap->engine->predict_batch(ptrs.data(), count, ws);
+    bool ok = true;
+    r.preds.resize(count);
+    for (std::size_t b = 0; b < count; ++b) {
+      Matrix& pred = r.preds[b];
+      pred = Matrix(n_, horizon_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t h = 0; h < horizon_; ++h) {
+          pred(i, h) = normalizer_.denormalize(
+              static_cast<double>(out(b * n_ + i, h)), 0);
+        }
+      }
+      // A poisoned row block degrades only its own window's waiters, but
+      // the call still counts as failed for the breaker.
+      if (pred.has_non_finite()) ok = false;
+    }
+    r.ok = ok;
+  } catch (...) {
+    r.ok = false;
+    r.threw = true;
+  }
+  loop_.post([this, st] { on_chunk_done(st); });
+}
+
+void ForecastServer::on_chunk_done(const std::shared_ptr<FlushState>& st) {
+  if (--st->chunks_left > 0) return;
+  finish_flush(st);
+}
+
+void ForecastServer::finish_flush(const std::shared_ptr<FlushState>& st) {
+  inflight_.reset();
+  const std::size_t total = st->entries.size();
+  // Chunk order IS admission order: breaker bookkeeping before the affected
+  // waiters settle, promises fulfilled in enqueue order, waiters in attach
+  // order — the same deterministic-ordering contract as the inline flush.
+  for (std::size_t c = 0; c * st->chunk_size < total; ++c) {
+    const std::size_t begin = c * st->chunk_size;
+    const std::size_t count = std::min(st->chunk_size, total - begin);
+    ChunkResult& r = st->results[c];
+    if (!r.executed) {
+      for (std::size_t b = 0; b < count; ++b) {
+        fallback_respond(st->entries[begin + b], nullptr);
+      }
+      continue;
+    }
+    engine_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (!r.threw) {
+      batched_windows_.fetch_add(count, std::memory_order_relaxed);
+    }
+    note_engine_result(r.ok, EventLoop::Clock::now());
+    if (r.threw) {
+      for (std::size_t b = 0; b < count; ++b) {
+        fallback_respond(st->entries[begin + b], nullptr);
+      }
+      continue;
+    }
+    for (std::size_t b = 0; b < count; ++b) {
+      Pending& p = st->entries[begin + b];
+      Matrix& pred = r.preds[b];
+      if (pred.has_non_finite()) {
+        fallback_respond(p, &pred);
+        continue;
+      }
+      streams_[p.stream].last_good = pred;
+      for (Waiter& w : p.waiters) {
+        settle_with_value(w, pred, /*fallback=*/false);
+      }
+    }
+  }
+  // Pipelining: batch t+1 accumulated while batch t executed — flush it
+  // now. During drain maybe_finish_drain runs the final inline flush
+  // instead, so everything admitted still resolves before the loop stops.
+  if (!pending_.empty() && !loop_draining_) flush();
+  maybe_finish_drain();
+}
+
+void ForecastServer::maybe_finish_drain() {
+  if (!loop_draining_ || drain_quiesce_ == nullptr) return;
+  if (inflight_ != nullptr) return;  // its completion re-enters
+  flush();  // inline during drain: settles everything still admitted
+  drain_quiesce_->set_value();
+  drain_quiesce_.reset();
+}
+
 bool ForecastServer::publish(std::shared_ptr<core::InferenceEngine> engine) {
   if (engine == nullptr) {
     throw std::invalid_argument("ForecastServer::publish: null engine");
@@ -587,6 +782,10 @@ bool ForecastServer::publish(std::shared_ptr<core::InferenceEngine> engine) {
   // on a publish however large the engine is.
   auto snap = std::make_shared<Snapshot>();
   snap->ws = engine->make_workspace();
+  snap->worker_ws.reserve(cfg_.num_workers);
+  for (std::size_t w = 0; w < cfg_.num_workers; ++w) {
+    snap->worker_ws.push_back(engine->make_workspace());
+  }
   snap->engine = std::move(engine);
   loop_.post([this, snap = std::move(snap)]() mutable {
     snapshot_ = std::move(snap);
@@ -617,6 +816,7 @@ ServerStats ForecastServer::stats() const {
   s.coerced_mask_entries =
       coerced_mask_entries_.load(std::memory_order_relaxed);
   s.stuck_demotions = stuck_demotions_.load(std::memory_order_relaxed);
+  s.pooled_flushes = pooled_flushes_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -46,6 +46,15 @@
 //     quarantines the candidate (counted in stats) and keeps the current
 //     snapshot serving.
 //
+// With ServeConfig::num_workers > 0 the parallel execution layer (DESIGN.md
+// §16) takes over flush execution: the admitted batch is split into fixed
+// deterministic per-worker sub-batches and run on an ExecPool (each worker a
+// private Workspace over the shared plan), completions post back to the
+// loop, and the loop keeps admitting batch t+1 while batch t executes — the
+// pipelined flush. Breaker bookkeeping and settlement still happen on the
+// loop thread in admission order, so per-window outputs are bitwise
+// identical to inline execution and the §15 failure accounting is exact.
+//
 // Every request resolves to a typed outcome: a finite Matrix or a
 // serve::ServeError via set_exception — never a broken promise, including
 // through drain()/destruction (ServeError{SHUTTING_DOWN}).
@@ -78,6 +87,7 @@
 #include "data/windows.hpp"
 #include "serve/error.hpp"
 #include "serve/event_loop.hpp"
+#include "serve/exec_pool.hpp"
 
 namespace rihgcn::serve {
 
@@ -123,6 +133,17 @@ struct ServeConfig {
   /// ServeError{ENGINE_FAILURE} instead — for deployments that prefer a
   /// typed error over a stale number.
   bool degraded_serving = true;
+  /// Parallel execution layer (DESIGN.md §16). 0 = flushes execute inline
+  /// on the loop thread (the §14/§15 behaviour). K >= 1 = a K-worker
+  /// ExecPool executes each flush: the admitted batch is split into fixed
+  /// deterministic sub-batches (chunk w on worker w mod K, each worker
+  /// running against its own private Workspace over the shared plan), and
+  /// while the workers execute batch t the loop keeps admitting and
+  /// coalescing batch t+1 — the pipelined flush. Per-window outputs are
+  /// bitwise identical to inline execution for any K. Overridden at
+  /// construction by RIHGCN_SERVE_WORKERS when set (set-but-invalid throws,
+  /// the RIHGCN_THREADS contract).
+  std::size_t num_workers = 0;
 };
 
 /// Monotonic serving counters (all lifetime totals).
@@ -133,6 +154,7 @@ struct ServerStats {
   std::size_t batched_windows = 0;     ///< sum of batch sizes over calls
   std::size_t coalesced_requests = 0;  ///< requests that joined a pending window
   std::size_t snapshot_swaps = 0;      ///< published engines applied by the loop
+  std::size_t pooled_flushes = 0;      ///< flushes dispatched to the ExecPool
   // ---- overload & fault-tolerance counters (DESIGN.md §15) -----------------
   std::size_t shed_requests = 0;       ///< failed with OVERLOADED
   std::size_t deadline_expired = 0;    ///< failed with DEADLINE_EXCEEDED
@@ -225,13 +247,21 @@ class ForecastServer {
   [[nodiscard]] std::size_t num_nodes() const noexcept { return n_; }
   [[nodiscard]] std::size_t num_features() const noexcept { return f_; }
   [[nodiscard]] std::size_t horizon() const noexcept { return horizon_; }
+  /// Resolved worker count (config after the RIHGCN_SERVE_WORKERS
+  /// override); 0 = inline flush execution.
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return cfg_.num_workers;
+  }
 
  private:
-  /// An engine plus its private scratch. The workspace is touched only by
-  /// the loop thread, which is what makes the mutable member safe here.
+  /// An engine plus its private scratch. `ws` backs the inline flush path
+  /// and is touched only by the loop thread; worker_ws[w] (sized
+  /// num_workers) is touched only by ExecPool worker w — one workspace per
+  /// executing thread over the one shared immutable plan.
   struct Snapshot {
     std::shared_ptr<core::InferenceEngine> engine;
     core::InferenceEngine::Workspace ws;
+    std::vector<core::InferenceEngine::Workspace> worker_ws;
   };
   /// Per-stream rolling buffer of normalized readings (loop thread only).
   struct Stream {
@@ -270,6 +300,29 @@ class ForecastServer {
     data::Window window;
     std::vector<Waiter> waiters;
   };
+  /// One sub-batch of a dispatched flush, filled in by its worker. Distinct
+  /// chunks are written by distinct workers; the loop reads them only after
+  /// the final completion lands, so no field needs synchronization beyond
+  /// the loop post itself.
+  struct ChunkResult {
+    bool executed = false;  ///< breaker gate let this chunk reach the engine
+    bool ok = false;        ///< call returned finite output
+    bool threw = false;
+    std::vector<Matrix> preds;  ///< denormalized, one per window of the chunk
+  };
+  /// One in-flight pooled flush (DESIGN.md §16): the entries moved out of
+  /// the admission queue, the snapshot they execute against, and the
+  /// per-chunk results. The admission queue keeps filling (batch t+1) while
+  /// this executes; results are processed in chunk order — i.e. admission
+  /// order — once every chunk has posted back.
+  struct FlushState {
+    std::shared_ptr<Snapshot> snap;
+    std::vector<Pending> entries;
+    std::size_t chunk_size = 0;
+    std::vector<std::vector<const data::Window*>> chunk_ptrs;
+    std::vector<ChunkResult> results;
+    std::size_t chunks_left = 0;  ///< loop thread only
+  };
 
   // Loop-thread internals.
   void enqueue_request(std::size_t stream, std::shared_ptr<SettleOnce> settle,
@@ -292,7 +345,28 @@ class ForecastServer {
     breaker_ = s;
     breaker_state_.store(static_cast<int>(s), std::memory_order_release);
   }
+  /// Flush entry point: no-op while a pooled flush is in flight (its
+  /// completion re-flushes); otherwise executes inline (num_workers == 0,
+  /// or during drain) or dispatches to the ExecPool.
   void flush();
+  /// The §14/§15 stop-the-world flush: chunked predict_batch on the loop
+  /// thread, breaker bookkeeping and settlement interleaved per chunk.
+  void flush_inline();
+  /// Split pending_ into per-worker sub-batches and submit them (§16).
+  void dispatch_flush();
+  /// Worker-side execution of one chunk: predict_batch on the worker's
+  /// private workspace, denormalize, record, post completion to the loop.
+  void run_chunk(const std::shared_ptr<FlushState>& st, std::size_t chunk);
+  /// Loop-side completion: counts down the in-flight chunks, delegating to
+  /// finish_flush when the last one lands.
+  void on_chunk_done(const std::shared_ptr<FlushState>& st);
+  /// Breaker bookkeeping and settlement for a completed pooled flush, in
+  /// chunk (= admission) order, then flush batch t+1 if the admission queue
+  /// refilled while batch t executed.
+  void finish_flush(const std::shared_ptr<FlushState>& st);
+  /// Drain rendezvous: once loop_draining_ is set and no flush is in
+  /// flight, run the final inline flush and release the drain() caller.
+  void maybe_finish_drain();
   [[nodiscard]] data::Window make_window(const Stream& s) const;
   /// Deterministic synthetic window for the publish canary: normalized-mean
   /// values under a half-observed checkerboard mask.
@@ -316,6 +390,11 @@ class ForecastServer {
   std::size_t consecutive_engine_failures_ = 0;
   EventLoop::Clock::time_point breaker_retry_at_{};
   bool loop_draining_ = false;  ///< set by drain's final closure
+  std::shared_ptr<FlushState> inflight_;  ///< pooled flush in execution
+  /// Fulfilled by the loop once loop_draining_ is set and the last in-flight
+  /// flush (plus the final inline flush) has settled — the rendezvous that
+  /// lets drain() stop the loop without orphaning worker completions.
+  std::shared_ptr<std::promise<void>> drain_quiesce_;
 
   // Client-visible registry: per-stream readings-seen counters for the
   // eager no-readings validation (guarded by reg_mu_; the atomics
@@ -333,6 +412,7 @@ class ForecastServer {
   std::atomic<std::size_t> batched_windows_{0};
   std::atomic<std::size_t> coalesced_{0};
   std::atomic<std::size_t> swaps_{0};
+  std::atomic<std::size_t> pooled_flushes_{0};
   std::atomic<std::size_t> shed_{0};
   std::atomic<std::size_t> deadline_expired_{0};
   std::atomic<std::size_t> aborted_{0};
@@ -347,7 +427,11 @@ class ForecastServer {
   std::atomic<std::size_t> coerced_mask_entries_{0};
   std::atomic<std::size_t> stuck_demotions_{0};
 
-  EventLoop loop_;  ///< last member: joins before the state above dies
+  EventLoop loop_;  ///< joins before the state above dies
+  /// Declared after loop_, so it is destroyed FIRST: workers are joined
+  /// while the loop object (which their completions post into) still
+  /// exists. drain() guarantees the pool is idle before either dies.
+  std::unique_ptr<ExecPool> exec_pool_;
 };
 
 }  // namespace rihgcn::serve

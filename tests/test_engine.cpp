@@ -11,6 +11,12 @@
 //    reallocate across calls.
 //  * EngineSnapshot.* — the compiled plan is frozen: mutating the source
 //    model after compilation must not change engine output.
+//  * EngineThreads.*  — Options::num_threads row-sharding is pure
+//    scheduling: adaptive / serial / forced-K outputs are bitwise equal.
+//  * EngineSharded.*  — the cluster-sharded engine (DESIGN.md §16): one
+//    shard is bitwise the full engine, parallel shards are bitwise the
+//    serial sharded forward, multi-shard output stays near the full
+//    forward (Cluster-GCN halo truncation) and covers every node.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -21,6 +27,7 @@
 #include "core/engine.hpp"
 #include "core/hetero_graphs.hpp"
 #include "core/rihgcn.hpp"
+#include "core/sharded_engine.hpp"
 #include "data/generators.hpp"
 #include "data/missing.hpp"
 #include "data/windows.hpp"
@@ -258,6 +265,113 @@ TEST(EngineSnapshot, FrozenAgainstModelMutation) {
   core::InferenceEngine recompiled(*s.model);
   const Matrix moved = recompiled.predict(w);
   EXPECT_NE(before, moved);
+}
+
+// ---- Options::num_threads row-sharding (DESIGN.md §16) ---------------------
+
+TEST(EngineThreads, NumThreadsBitwiseEqualSerial) {
+  EngineFixture s = make_setup(small_config());
+  // Force the pool on and the adaptive thresholds down, so all three
+  // scheduling modes genuinely take different dispatch paths.
+  BackendGuard guard(4);
+  std::vector<Matrix> outs;
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                              std::size_t{7}}) {
+    core::InferenceEngine::Options opt;
+    opt.max_batch = 4;
+    opt.num_threads = threads;
+    core::InferenceEngine engine(*s.model, opt);
+    outs.push_back(engine.predict(s.sampler->make_window(5)));
+  }
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    EXPECT_EQ(outs[0], outs[i]) << "num_threads variant " << i;
+  }
+  EXPECT_FALSE(outs[0].has_non_finite());
+}
+
+// ---- cluster-sharded engine (DESIGN.md §16) --------------------------------
+
+TEST(EngineSharded, SingleShardBitwiseMatchesFullEngine) {
+  // num_shards = 1: the partition owns every node, the halo is empty, and
+  // the sub-Laplacians ARE the full Laplacians — bitwise equality with the
+  // plain engine is exact, not approximate.
+  EngineFixture s = make_setup(small_config());
+  core::InferenceEngine full(*s.model);
+  core::ShardedEngine::Options so;
+  so.num_shards = 1;
+  core::ShardedEngine sharded(*s.model, so);
+  EXPECT_EQ(sharded.num_shards(), 1u);
+  for (std::size_t start : {0u, 9u, 21u}) {
+    const data::Window w = s.sampler->make_window(start);
+    EXPECT_EQ(sharded.predict(w), full.predict(w)) << "window " << start;
+  }
+}
+
+TEST(EngineSharded, ParallelMatchesSerialBitwise) {
+  // The parallel path's parity baseline is the SERIAL sharded forward (the
+  // halo truncation at cheb_order > 1 is the documented Cluster-GCN
+  // approximation vs the full engine). Disjoint owned-row scatter means
+  // thread scheduling can never move a bit.
+  EngineFixture s = make_setup(small_config());
+  BackendGuard guard(4);
+  core::ShardedEngine::Options so;
+  so.num_shards = 3;
+  so.seed = 7;
+  so.parallel = false;
+  core::ShardedEngine serial(*s.model, so);
+  so.parallel = true;
+  core::ShardedEngine parallel(*s.model, so);
+  ASSERT_EQ(serial.num_shards(), parallel.num_shards());
+  ASSERT_GE(serial.num_shards(), 2u);
+  for (std::size_t start : {1u, 8u, 17u}) {
+    const data::Window w = s.sampler->make_window(start);
+    const Matrix a = serial.predict(w);
+    const Matrix b = parallel.predict(w);
+    EXPECT_EQ(a, b) << "window " << start;
+    EXPECT_FALSE(a.has_non_finite());
+  }
+}
+
+TEST(EngineSharded, StaysNearFullEngineAndCoversAllNodes) {
+  // Multi-shard output is the Cluster-GCN approximation of the full
+  // forward: the halo carries the 1-hop boundary exactly, deeper Chebyshev
+  // reach is truncated. An 8-node graph cut into 3 shards at cheb_order = 3
+  // is close to the worst case for that truncation (most of a shard's
+  // 2-hop neighborhood lies outside it), so this is a blow-up guard, not a
+  // tight accuracy claim: every node written, finite, bounded deviation.
+  // All inputs are seeded and both forwards are deterministic, so the
+  // bounds are stable (observed max |diff| ~1.75, mean ~0.4).
+  EngineFixture s = make_setup(small_config());
+  core::InferenceEngine full(*s.model);
+  core::ShardedEngine::Options so;
+  so.num_shards = 3;
+  core::ShardedEngine sharded(*s.model, so);
+  const data::Window w = s.sampler->make_window(11);
+  const Matrix want = full.predict(w);
+  const Matrix got = sharded.predict(w);
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  EXPECT_FALSE(got.has_non_finite());
+  double sum_abs = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double diff = std::abs(got.data()[i] - want.data()[i]);
+    EXPECT_LT(diff, 3.0) << "flat index " << i;
+    sum_abs += diff;
+  }
+  EXPECT_LT(sum_abs / static_cast<double>(got.size()), 0.8);
+}
+
+TEST(EngineSharded, DeterministicAcrossInstancesAndRejectsZeroShards) {
+  EngineFixture s = make_setup(small_config());
+  core::ShardedEngine::Options so;
+  so.num_shards = 3;
+  so.seed = 42;
+  core::ShardedEngine a(*s.model, so);
+  core::ShardedEngine b(*s.model, so);
+  const data::Window w = s.sampler->make_window(3);
+  EXPECT_EQ(a.predict(w), b.predict(w));
+  so.num_shards = 0;
+  EXPECT_THROW(core::ShardedEngine(*s.model, so), std::invalid_argument);
 }
 
 }  // namespace

@@ -23,12 +23,20 @@
 //    all-mean) while open, half-open probe closes it.
 //  * ServePublish.*    — canary-gated publish quarantines a poisoned
 //    candidate without perturbing the serving snapshot.
+//  * ExecPool.*        — the §16 engine worker pool: per-worker FIFO order,
+//    drain-on-destruction, strict RIHGCN_SERVE_WORKERS env parsing.
+//  * ServePool.*       — pooled flush execution: bitwise parity with the
+//    inline flush at K = 1/2/4 (under coalescing and mid-flight publish),
+//    breaker choreography through the dispatch gate, drain with a flush in
+//    flight, and the TSan-covered worker/publisher/drain storm with exact
+//    counter accounting.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <optional>
@@ -44,6 +52,7 @@
 #include "data/missing.hpp"
 #include "serve/error.hpp"
 #include "serve/event_loop.hpp"
+#include "serve/exec_pool.hpp"
 #include "serve/faulty_engine.hpp"
 #include "serve/server.hpp"
 #include "tensor/rng.hpp"
@@ -918,6 +927,329 @@ TEST(ServePublish, CanaryQuarantinesPoisonedCandidate) {
   st = server.stats();
   EXPECT_EQ(st.snapshot_swaps, 1u);
   EXPECT_EQ(st.quarantined_publishes, 2u);
+}
+
+// ---- ExecPool (DESIGN.md §16) ----------------------------------------------
+
+TEST(ExecPool, RejectsZeroWorkers) {
+  EXPECT_THROW(serve::ExecPool pool(0), std::invalid_argument);
+}
+
+TEST(ExecPool, PerWorkerFifoOrder) {
+  serve::ExecPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  std::vector<int> order;  // written only by worker 0, read after the fence
+  std::promise<void> done;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit(0, [&order, i] { order.push_back(i); });
+  }
+  pool.submit(0, [&done] { done.set_value(); });  // FIFO fence
+  done.get_future().wait();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ExecPool, DrainsSubmittedTasksOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    serve::ExecPool pool(3);
+    for (int i = 0; i < 60; ++i) {
+      pool.submit(static_cast<std::size_t>(i), [&ran] { ++ran; });
+    }
+    // Destructor: a submitted task is a promise of execution.
+  }
+  EXPECT_EQ(ran.load(), 60);
+}
+
+/// Saves and restores RIHGCN_SERVE_WORKERS around env-parsing tests.
+class WorkersEnvGuard {
+ public:
+  WorkersEnvGuard() {
+    const char* v = std::getenv("RIHGCN_SERVE_WORKERS");
+    if (v != nullptr) saved_ = v;
+  }
+  ~WorkersEnvGuard() {
+    if (saved_.has_value()) {
+      setenv("RIHGCN_SERVE_WORKERS", saved_->c_str(), 1);
+    } else {
+      unsetenv("RIHGCN_SERVE_WORKERS");
+    }
+  }
+  WorkersEnvGuard(const WorkersEnvGuard&) = delete;
+  WorkersEnvGuard& operator=(const WorkersEnvGuard&) = delete;
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(ExecPool, EnvOverrideParsesStrictly) {
+  WorkersEnvGuard guard;
+  unsetenv("RIHGCN_SERVE_WORKERS");
+  EXPECT_EQ(serve::serve_workers_from_env(5), 5u);  // unset → fallback
+  setenv("RIHGCN_SERVE_WORKERS", "", 1);
+  EXPECT_EQ(serve::serve_workers_from_env(5), 5u);  // empty → fallback
+  setenv("RIHGCN_SERVE_WORKERS", "3", 1);
+  EXPECT_EQ(serve::serve_workers_from_env(5), 3u);
+  setenv("RIHGCN_SERVE_WORKERS", "0", 1);
+  EXPECT_EQ(serve::serve_workers_from_env(5), 0u);  // 0 is VALID: inline
+  // Set-but-invalid throws — the RIHGCN_THREADS contract: a typo'd worker
+  // count must fail loudly, never silently serve single-threaded.
+  for (const char* bad : {"abc", "4x", "-1", " 2", "1e3", "99999"}) {
+    setenv("RIHGCN_SERVE_WORKERS", bad, 1);
+    EXPECT_THROW((void)serve::serve_workers_from_env(5), std::runtime_error)
+        << "value '" << bad << "'";
+  }
+}
+
+TEST(ExecPool, InvalidEnvFailsServerConstruction) {
+  WorkersEnvGuard guard;
+  ServeFixture s = make_fixture();
+  auto engine = std::make_shared<core::InferenceEngine>(*s.model);
+  setenv("RIHGCN_SERVE_WORKERS", "not-a-number", 1);
+  EXPECT_THROW(
+      serve::ForecastServer(engine, *s.normalizer, serve::ServeConfig{}),
+      std::runtime_error);
+  // And a valid override wins over the config value.
+  setenv("RIHGCN_SERVE_WORKERS", "2", 1);
+  serve::ForecastServer server(engine, *s.normalizer, serve::ServeConfig{});
+  EXPECT_EQ(server.num_workers(), 2u);
+}
+
+// ---- pooled flush execution (DESIGN.md §16) --------------------------------
+
+/// Ingests 4 streams, then runs 3 query rounds — each round issues a
+/// coalescing pair per stream, round 2 publishes an identically-compiled
+/// engine MID-FLIGHT (between issuing and settling) — and returns every
+/// response in issue order. Pure function of the fixture: any two servers
+/// over engines compiled from the same model must return identical bits.
+std::vector<Matrix> run_parity_scenario(serve::ForecastServer& server,
+                                        const ServeFixture& s) {
+  constexpr std::size_t kStreams = 4;
+  std::vector<std::size_t> ids;
+  for (std::size_t k = 0; k < kStreams; ++k) {
+    ids.push_back(server.add_stream(3 * k));
+    for (std::size_t t = 0; t < 4; ++t) {
+      auto [values, mask] = reading_at(s, 7 * k + t);
+      server.ingest(ids[k], values, mask);
+    }
+  }
+  std::vector<Matrix> outs;
+  for (std::size_t round = 0; round < 3; ++round) {
+    std::vector<std::future<Matrix>> futs;
+    for (std::size_t k = 0; k < kStreams; ++k) {
+      futs.push_back(server.forecast_async(ids[k]));  // distinct window
+      futs.push_back(server.forecast_async(ids[k]));  // coalesces onto it
+    }
+    if (round == 2) {
+      // Snapshot swap racing the in-flight flush: the published engine is
+      // compiled from the same weights, so whichever flush it lands before
+      // produces the same bits.
+      EXPECT_TRUE(server.publish(
+          std::make_shared<core::InferenceEngine>(*s.model)));
+    }
+    for (auto& f : futs) outs.push_back(f.get());
+    for (std::size_t k = 0; k < kStreams; ++k) {
+      auto [values, mask] = reading_at(s, 11 + 2 * round + k);
+      server.ingest(ids[k], values, mask);  // next round: fresh windows
+    }
+  }
+  return outs;
+}
+
+TEST(ServePool, BitwiseMatchesInlineFlushAtFixedK) {
+  ServeFixture s = make_fixture();
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 300;
+
+  cfg.num_workers = 0;  // the §14/§15 inline reference
+  serve::ForecastServer inline_server(
+      std::make_shared<core::InferenceEngine>(*s.model), *s.normalizer, cfg);
+  const std::vector<Matrix> want = run_parity_scenario(inline_server, s);
+  EXPECT_EQ(inline_server.stats().pooled_flushes, 0u);
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    cfg.num_workers = workers;
+    serve::ForecastServer pooled(
+        std::make_shared<core::InferenceEngine>(*s.model), *s.normalizer,
+        cfg);
+    const std::vector<Matrix> got = run_parity_scenario(pooled, s);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "workers=" << workers << " response " << i;
+      EXPECT_FALSE(got[i].has_non_finite());
+    }
+    const serve::ServerStats st = pooled.stats();
+    EXPECT_GT(st.pooled_flushes, 0u) << "workers=" << workers;
+    EXPECT_EQ(st.responses, got.size());
+  }
+}
+
+TEST(ServePool, BreakerOpensServesFallbackAndProbesUnderPool) {
+  // Sequential single-window flushes (max_batch = 1, blocking forecasts):
+  // every dispatch is exactly one chunk, so the pooled breaker choreography
+  // must match the inline ServeBreaker.* semantics step for step.
+  ServeFixture s = make_fixture();
+  serve::FaultyEngine::FaultConfig faults;  // forced faults only
+  auto engine = std::make_shared<serve::FaultyEngine>(
+      *s.model, core::InferenceEngine::Options{}, faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_delay_us = 100;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown_us = 200'000;
+  cfg.num_workers = 2;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  const std::size_t id = server.add_stream();
+  auto [values, mask] = reading_at(s, 0);
+  server.ingest(id, values, mask);
+  const Matrix baseline = server.forecast(id);
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kClosed);
+
+  engine->force_throw_next(2);
+  EXPECT_EQ(server.forecast(id), baseline);
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kClosed);  // 1 of 2
+  EXPECT_EQ(server.forecast(id), baseline);
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kOpen);
+
+  const std::size_t calls_before = engine->calls();
+  EXPECT_EQ(server.forecast(id), baseline);  // OPEN: fallback, engine idle
+  EXPECT_EQ(engine->calls(), calls_before);
+
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(cfg.breaker_cooldown_us + 50'000));
+  EXPECT_EQ(server.forecast(id), baseline);  // half-open probe succeeds
+  EXPECT_EQ(server.breaker_state(), serve::BreakerState::kClosed);
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.engine_failures, 2u);
+  EXPECT_EQ(st.breaker_opens, 1u);
+  EXPECT_EQ(st.breaker_probes, 1u);
+  EXPECT_EQ(st.breaker_closes, 1u);
+  EXPECT_GT(st.pooled_flushes, 0u);
+}
+
+TEST(ServePool, DrainSettlesInFlightPooledFlush) {
+  // Requests dispatched to slow workers, then an immediate drain: the
+  // quiesce rendezvous must wait for the in-flight completions, so every
+  // future resolves to a value or a typed error — never a broken promise.
+  ServeFixture s = make_fixture();
+  serve::FaultyEngine::FaultConfig faults;
+  faults.latency_us = 4000;
+  auto engine = std::make_shared<serve::FaultyEngine>(
+      *s.model, core::InferenceEngine::Options{}, faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.max_delay_us = 100;
+  cfg.num_workers = 2;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  std::vector<std::size_t> ids;
+  std::vector<std::future<Matrix>> futs;
+  for (std::size_t k = 0; k < 4; ++k) {
+    ids.push_back(server.add_stream(k));
+    auto [values, mask] = reading_at(s, 2 * k);
+    server.ingest(ids[k], values, mask);
+    futs.push_back(server.forecast_async(ids[k]));
+  }
+  server.drain();
+  std::size_t settled = 0;
+  for (auto& f : futs) {
+    try {
+      EXPECT_FALSE(f.get().has_non_finite());
+      ++settled;
+    } catch (const serve::ServeError& e) {
+      EXPECT_EQ(e.status(), serve::ServeStatus::kShuttingDown);
+      ++settled;
+    }
+  }
+  EXPECT_EQ(settled, futs.size());
+}
+
+TEST(ServePool, StormRacesWorkersBreakerPublishAndDrain) {
+  // The §16 TSan storm: pooled workers execute a faulty, slow engine while
+  // client threads race coalescing queries, a publisher floods canary-
+  // rejected candidates, and the whole thing drains mid-traffic. Invariants:
+  // every request resolves (zero broken promises), zero non-finite values
+  // escape, and counter accounting is exact — the serving engine never
+  // changes, so server-side engine_failures must equal the faults the
+  // FaultyEngine actually injected into serving calls.
+  ServeFixture s = make_fixture();
+  core::InferenceEngine::Options opts;
+  opts.max_batch = 4;
+  serve::FaultyEngine::FaultConfig faults;
+  faults.latency_us = 700;
+  faults.throw_rate = 0.06;
+  faults.nan_rate = 0.06;
+  faults.seed = 0xfeedULL;
+  auto engine =
+      std::make_shared<serve::FaultyEngine>(*s.model, opts, faults);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_us = 200;
+  cfg.max_queue = 8;
+  cfg.breaker_threshold = 3;
+  cfg.breaker_cooldown_us = 1'500;
+  cfg.num_workers = 3;
+  serve::ForecastServer server(engine, *s.normalizer, cfg);
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 25;
+  std::vector<std::size_t> ids;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ids.push_back(server.add_stream(c));
+    auto [values, mask] = reading_at(s, 3 * c);
+    server.ingest(ids[c], values, mask);
+  }
+  std::atomic<std::size_t> values_seen{0};
+  std::atomic<std::size_t> typed_errors{0};
+  std::atomic<std::size_t> non_finite{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        try {
+          const Matrix got = server.forecast_async(ids[c]).get();
+          if (got.has_non_finite()) ++non_finite;
+          ++values_seen;
+        } catch (const serve::ServeError&) {
+          ++typed_errors;
+        }
+        if (q % 6 == 5) {
+          auto [values, mask] = reading_at(s, (q + 7 * c) % 40);
+          try {
+            server.ingest(ids[c], values, mask);
+          } catch (const serve::ServeError&) {
+          }
+        }
+      }
+    });
+  }
+  // Publisher: every candidate is poisoned, so the canary rejects each one
+  // and the serving snapshot — and with it the exact-counter identity
+  // below — never changes.
+  std::thread publisher([&] {
+    serve::FaultyEngine::FaultConfig poison;
+    poison.nan_rate = 1.0;
+    for (int i = 0; i < 12; ++i) {
+      try {
+        EXPECT_FALSE(server.publish(std::make_shared<serve::FaultyEngine>(
+            *s.model, core::InferenceEngine::Options{}, poison)));
+      } catch (const std::exception&) {
+        ADD_FAILURE() << "publish threw during the storm";
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& t : clients) t.join();
+  publisher.join();
+  server.drain();
+  EXPECT_EQ(values_seen.load() + typed_errors.load(), kClients * kPerClient);
+  EXPECT_EQ(non_finite.load(), 0u);
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.responses, values_seen.load());
+  EXPECT_EQ(st.engine_failures,
+            engine->throws_injected() + engine->nans_injected());
+  EXPECT_EQ(st.quarantined_publishes, 12u);
+  EXPECT_EQ(st.snapshot_swaps, 0u);
+  EXPECT_GT(st.pooled_flushes, 0u);
 }
 
 }  // namespace

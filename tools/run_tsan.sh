@@ -11,6 +11,11 @@
 # admission + deadlines + the circuit breaker, and
 # ServeShutdown.RacyDrainNeverBreaksPromises races drain() against live
 # clients — both must show zero races, zero broken promises, zero hangs).
+# The §16 parallel-execution gates ride along too: ExecPool* exercises the
+# worker pool's per-worker FIFO queues and drain-on-destruction, and
+# ServePool.StormRacesWorkersBreakerPublishAndDrain races 3 pool workers
+# against 4 clients, a poisoned publisher, the circuit breaker, and drain()
+# with exact counter accounting.
 #
 # Usage: tools/run_tsan.sh [extra gtest filter]
 set -euo pipefail
@@ -22,7 +27,7 @@ build_dir=build-tsan
 cmake -B "${build_dir}" -S . -DRIHGCN_SANITIZE=thread >/dev/null
 cmake --build "${build_dir}" -j --target rihgcn_tests
 
-filter="${1:-KernelConformance*:ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*:CsrStructure*:CsrSpmm*:*SparseAndDenseTraining*:TapeArena*:FusedCell*:NumericalGuard*:TrainCheckpoint*:FaultInjection*:OnlineRobust*:OnlineMemo*:RobustPrimitives*:Engine*:EventLoop*:Serve*}"
+filter="${1:-KernelConformance*:ThreadPool*:MatmulParallel*:ParallelDeterminism*:*ParallelBackendGrad*:CsrStructure*:CsrSpmm*:*SparseAndDenseTraining*:TapeArena*:FusedCell*:NumericalGuard*:TrainCheckpoint*:FaultInjection*:OnlineRobust*:OnlineMemo*:RobustPrimitives*:Engine*:EventLoop*:Serve*:ExecPool*}"
 
 # tools/tsan.supp: exception_ptr refcounts live in uninstrumented
 # libstdc++.so; see the file for why that one frame is a false positive.
